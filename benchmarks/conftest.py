@@ -1,0 +1,29 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper's §5 and asserts
+its *shape* claims (who wins, by roughly what factor, where crossovers
+fall).  ``REPRO_BENCH_RESOLUTION`` controls the mesh size (default 6,
+≈ 2.6k elements, keeps the full suite around a few minutes; 17 is
+paper-scale).  Run with ``-s`` to see the regenerated rows/series.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+RESOLUTION = int(os.environ.get("REPRO_BENCH_RESOLUTION", "6"))
+
+
+@pytest.fixture(scope="session")
+def resolution():
+    return RESOLUTION
+
+
+@pytest.fixture(scope="session")
+def case(resolution):
+    from repro.experiments import make_case
+
+    return make_case(resolution)

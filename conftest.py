@@ -1,0 +1,5 @@
+"""Make the in-tree sources importable when running pytest from the repo root."""
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))

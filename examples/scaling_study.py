@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Scaling study: remap-before vs remap-after across processor counts.
+
+Reproduces the story of the paper's Figs. 4 and 5 on one strategy: how the
+parallel mesh adaptor speeds up with processors, and how much data movement
+the remap-before-subdivision ordering saves.
+
+Run:  python examples/scaling_study.py [resolution] [strategy]
+      (strategy one of Real_1, Real_2, Real_3; default Real_1)
+"""
+
+import sys
+
+from repro.experiments import case_for, run_step
+from repro.experiments.sweep import SWEEP_PROCS
+
+
+def main(resolution: int = 8, strategy: str = "Real_1") -> None:
+    case = case_for(resolution)
+    print(f"{strategy} on a {case.mesh.ne}-element rotor mesh "
+          f"(virtual IBM SP2)\n")
+    hdr = (f"{'P':>4s} | {'adapt(after)':>12s} {'adapt(before)':>13s} "
+           f"{'speedup gain':>12s} | {'moved(after)':>12s} {'moved(before)':>13s}")
+    print(hdr)
+    print("-" * len(hdr))
+    t1 = {m: run_step(resolution, strategy, m, 1).adaption_time
+          for m in ("after", "before")}
+    for p in SWEEP_PROCS:
+        ra = run_step(resolution, strategy, "after", p)
+        rb = run_step(resolution, strategy, "before", p)
+        sa = t1["after"] / ra.adaption_time
+        sb = t1["before"] / rb.adaption_time
+        ma = ra.remap.elements_moved if ra.remap else 0
+        mb = rb.remap.elements_moved if rb.remap else 0
+        print(f"{p:4d} | {ra.adaption_time:12.4f} {rb.adaption_time:13.4f} "
+              f"{sb / sa:11.2f}x | {ma:12d} {mb:13d}")
+    print("\n'speedup gain' is the factor by which remapping before the "
+          "subdivision\nimproves the adaptor's parallel speedup "
+          "(the paper reports up to 2.6x).")
+
+
+if __name__ == "__main__":
+    res = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    strat = sys.argv[2] if len(sys.argv) > 2 else "Real_1"
+    main(res, strat)

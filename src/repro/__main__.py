@@ -1,0 +1,52 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+report [RESOLUTION]
+    Regenerate every table and figure of the paper's evaluation section
+    (default resolution 8 ≈ 6k elements; 13 is paper-scale).
+case [RESOLUTION]
+    Print the synthetic rotor case's mesh sizes and growth factors.
+version
+    Print the package version.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or argv[0] in ("-h", "--help", "help"):
+        print(__doc__)
+        return 0
+    cmd, *rest = argv
+    if cmd == "version":
+        import repro
+
+        print(repro.__version__)
+        return 0
+    if cmd == "report":
+        from repro.experiments.report import run_all
+
+        res = int(rest[0]) if rest else 8
+        print(run_all(res))
+        return 0
+    if cmd == "case":
+        from repro.experiments import CASE_NAMES, make_case
+        from repro.experiments.sweep import growth_factor
+
+        res = int(rest[0]) if rest else 8
+        case = make_case(res)
+        sz = case.mesh.sizes()
+        print(f"resolution {res}: " + ", ".join(f"{k}={v}" for k, v in sz.items()))
+        for name in CASE_NAMES:
+            print(f"  {name}: G = {growth_factor(res, name):.3f}")
+        return 0
+    print(f"unknown command {cmd!r}; try --help", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

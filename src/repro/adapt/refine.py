@@ -1,0 +1,277 @@
+"""The subdivision phase of mesh refinement (paper §3).
+
+Given a mesh whose elements carry *valid* 6-bit patterns (the fixpoint of
+:func:`repro.adapt.marking.propagate_markings`), each element is subdivided
+independently:
+
+* **1:2** — the marked edge ``(a, b)`` is bisected at its midpoint ``m``;
+  children replace ``a`` resp. ``b`` by ``m``.
+* **1:4** — the marked face ``(A, B, C)`` (apex ``D``) is split into four
+  triangles; children are three corner tets plus the medial tet, all with
+  apex ``D``.
+* **1:8** — isotropic: four corner tets plus the inner octahedron, which is
+  split into four tets around its shortest diagonal (the three candidate
+  diagonals join midpoints of opposite edges).
+
+Subdivision is vectorized by grouping elements over the 14 concrete cases
+(6 edges × 1:2, 4 faces × 1:4, 3 diagonals × 1:8, plus unrefined).  The
+result records full provenance — parent element, midpoint vertex per
+bisected edge, child edges of each bisected edge — which the refinement
+forest and the coarsening procedure consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.tetmesh import TetMesh
+from repro.mesh.topology import FACE_EDGE_MASKS, FACE_EDGES, LOCAL_FACES, OPPOSITE_EDGE
+from repro.parallel.ledger import CostLedger
+
+from .marking import MarkingResult
+from .patterns import NUM_CHILDREN, UPGRADE
+
+__all__ = ["RefineResult", "subdivide", "SUBDIV_WORK_PER_CHILD"]
+
+#: Work units to create one child element (allocate, connect, update shared
+#: data) — far costlier than one marking-phase pattern check (1 unit), which
+#: is why the subdivision phase dominates the adaptor's runtime.
+SUBDIV_WORK_PER_CHILD = 30.0
+
+# Octahedron equator cycles: for the diagonal joining the midpoints of local
+# edges (d, OPPOSITE_EDGE[d]), the other four midpoints in cyclic order such
+# that consecutive entries share a parent vertex (see tests for the check).
+_DIAG_CYCLE = {0: (1, 2, 4, 3), 1: (0, 2, 5, 3), 2: (0, 1, 5, 4)}
+
+
+@dataclass(frozen=True)
+class RefineResult:
+    """Provenance of one subdivision step.
+
+    Attributes
+    ----------
+    mesh:
+        The refined mesh (fresh connectivity; vertex ids 0..nv_old-1 are the
+        old vertices, the rest are edge midpoints).
+    parent:
+        ``(ne_new,)`` old element id of each new element.
+    child_count:
+        ``(ne_old,)`` number of children per old element (1 = unrefined).
+    midpoint_of:
+        ``(nedges_old,)`` new vertex id of each bisected old edge, -1 else.
+    edge_children:
+        ``(nedges_old, 2)`` ids *in the new mesh* of the two half-edges of
+        each bisected old edge ((a, m) then (m, b)), -1 rows otherwise.
+    edge_survivor:
+        ``(nedges_old,)`` id in the new mesh of each unbisected old edge,
+        -1 for bisected ones.
+    solution:
+        Vertex solution carried to the new mesh (midpoints linearly
+        interpolated), or None if no solution was supplied.
+    """
+
+    mesh: TetMesh
+    parent: np.ndarray
+    child_count: np.ndarray
+    midpoint_of: np.ndarray
+    edge_children: np.ndarray
+    edge_survivor: np.ndarray
+    solution: np.ndarray | None
+
+    @property
+    def growth_factor(self) -> float:
+        """Mesh growth factor G = ne_new / ne_old (paper §5, Fig. 7)."""
+        return self.mesh.ne / self.child_count.shape[0]
+
+
+def subdivide(
+    mesh: TetMesh,
+    marking: MarkingResult,
+    solution: np.ndarray | None = None,
+    part: np.ndarray | None = None,
+    ledger: CostLedger | None = None,
+) -> RefineResult:
+    """Subdivide every element according to its (valid) pattern.
+
+    When ``part``/``ledger`` are given, each rank is charged work
+    proportional to the number of children its elements create — this is
+    how the load-(im)balance of the subdivision phase enters the timing
+    model (remapping *before* subdivision balances exactly this phase).
+    """
+    patterns = np.asarray(marking.patterns, dtype=np.int64)
+    if patterns.shape != (mesh.ne,):
+        raise ValueError(f"patterns must have shape ({mesh.ne},)")
+    if not np.array_equal(UPGRADE[patterns], patterns):
+        raise ValueError("patterns must be valid (run propagate_markings first)")
+    edge_marked = np.asarray(marking.edge_marked, dtype=bool)
+
+    # --- midpoint vertices --------------------------------------------------
+    nv_old = mesh.nv
+    marked_ids = np.flatnonzero(edge_marked)
+    midpoint_of = np.full(mesh.nedges, -1, dtype=np.int64)
+    midpoint_of[marked_ids] = nv_old + np.arange(marked_ids.shape[0])
+    mid_coords = 0.5 * (
+        mesh.coords[mesh.edges[marked_ids, 0]] + mesh.coords[mesh.edges[marked_ids, 1]]
+    )
+    new_coords = np.vstack([mesh.coords, mid_coords])
+
+    # per-element vertex ids and midpoint ids
+    ev = mesh.elems  # (ne, 4)
+    em = midpoint_of[mesh.elem2edge]  # (ne, 6), -1 where edge unbisected
+
+    chunks: list[np.ndarray] = []  # child vertex quadruples
+    parents: list[np.ndarray] = []
+
+    # unrefined elements pass through
+    keep = patterns == 0
+    if keep.any():
+        chunks.append(ev[keep])
+        parents.append(np.flatnonzero(keep))
+
+    # 1:2 — one marked edge e=(a,b): children swap one endpoint for m
+    from repro.mesh.topology import LOCAL_EDGES
+
+    for le in range(6):
+        sel = patterns == (1 << le)
+        if not sel.any():
+            continue
+        idx = np.flatnonzero(sel)
+        a, b = LOCAL_EDGES[le]
+        m = em[idx, le]
+        c1 = ev[idx].copy()
+        c1[:, b] = m
+        c2 = ev[idx].copy()
+        c2[:, a] = m
+        chunks.append(np.concatenate([c1, c2]))
+        parents.append(np.tile(idx, 2))
+
+    # 1:4 — one marked face (A,B,C), apex D
+    for f in range(4):
+        sel = patterns == int(FACE_EDGE_MASKS[f])
+        if not sel.any():
+            continue
+        idx = np.flatnonzero(sel)
+        A, B, C = LOCAL_FACES[f]
+        D = (set(range(4)) - {int(A), int(B), int(C)}).pop()
+        eAB, eAC, eBC = FACE_EDGES[f]
+        vA, vB, vC, vD = ev[idx, A], ev[idx, B], ev[idx, C], ev[idx, D]
+        mAB, mAC, mBC = em[idx, eAB], em[idx, eAC], em[idx, eBC]
+        kids = np.concatenate(
+            [
+                np.column_stack([vA, mAB, mAC, vD]),
+                np.column_stack([vB, mAB, mBC, vD]),
+                np.column_stack([vC, mAC, mBC, vD]),
+                np.column_stack([mAB, mBC, mAC, vD]),
+            ]
+        )
+        chunks.append(kids)
+        parents.append(np.tile(idx, 4))
+
+    # 1:8 — isotropic; split the inner octahedron on its shortest diagonal
+    sel8 = patterns == 0b111111
+    if sel8.any():
+        idx8 = np.flatnonzero(sel8)
+        mids = em[idx8]  # (n8, 6), all valid
+        dlen = np.empty((idx8.shape[0], 3))
+        for d in range(3):
+            o = OPPOSITE_EDGE[d]
+            dlen[:, d] = np.linalg.norm(
+                new_coords[mids[:, d]] - new_coords[mids[:, o]], axis=1
+            )
+        diag = np.argmin(dlen, axis=1)
+        # four corner tets (same for every diagonal choice)
+        corner_local_edges = [(0, 1, 2), (0, 3, 4), (1, 3, 5), (2, 4, 5)]
+        kids = [
+            np.column_stack(
+                [ev[idx8, c], mids[:, e0], mids[:, e1], mids[:, e2]]
+            )
+            for c, (e0, e1, e2) in enumerate(corner_local_edges)
+        ]
+        chunks.append(np.concatenate(kids))
+        parents.append(np.tile(idx8, 4))
+        for d in range(3):
+            seld = diag == d
+            if not seld.any():
+                continue
+            idxd = idx8[seld]
+            md = mids[seld]
+            o = OPPOSITE_EDGE[d]
+            cyc = _DIAG_CYCLE[d]
+            oct_kids = [
+                np.column_stack(
+                    [md[:, d], md[:, o], md[:, cyc[k]], md[:, cyc[(k + 1) % 4]]]
+                )
+                for k in range(4)
+            ]
+            chunks.append(np.concatenate(oct_kids))
+            parents.append(np.tile(idxd, 4))
+
+    new_elems = np.concatenate(chunks)
+    parent = np.concatenate(parents)
+    # group children contiguously by parent element (stable order within)
+    order = np.argsort(parent, kind="stable")
+    new_elems = new_elems[order]
+    parent = parent[order]
+    child_count = np.bincount(parent, minlength=mesh.ne)
+    assert np.array_equal(child_count, NUM_CHILDREN[patterns]), "child count"
+
+    new_mesh = TetMesh.from_elems(new_coords, new_elems)
+
+    # --- edge provenance ------------------------------------------------------
+    nv_new = new_mesh.nv
+    new_keys = new_mesh.edges[:, 0] * nv_new + new_mesh.edges[:, 1]
+
+    def lookup(pairs: np.ndarray) -> np.ndarray:
+        lo = pairs.min(axis=1).astype(np.int64)
+        hi = pairs.max(axis=1).astype(np.int64)
+        keys = lo * nv_new + hi
+        pos = np.searchsorted(new_keys, keys)
+        ok = (pos < new_keys.shape[0]) & (new_keys[np.minimum(pos, len(new_keys) - 1)] == keys)
+        out = np.where(ok, pos, -1)
+        return out
+
+    edge_children = np.full((mesh.nedges, 2), -1, dtype=np.int64)
+    if marked_ids.size:
+        a = mesh.edges[marked_ids, 0]
+        b = mesh.edges[marked_ids, 1]
+        m = midpoint_of[marked_ids]
+        edge_children[marked_ids, 0] = lookup(np.column_stack([a, m]))
+        edge_children[marked_ids, 1] = lookup(np.column_stack([m, b]))
+        assert np.all(edge_children[marked_ids] >= 0), "half-edges must exist"
+    surv_ids = np.flatnonzero(~edge_marked)
+    edge_survivor = np.full(mesh.nedges, -1, dtype=np.int64)
+    if surv_ids.size:
+        edge_survivor[surv_ids] = lookup(mesh.edges[surv_ids])
+        assert np.all(edge_survivor[surv_ids] >= 0), "unbisected edges survive"
+
+    # --- solution interpolation -------------------------------------------------
+    new_solution = None
+    if solution is not None:
+        solution = np.asarray(solution, dtype=np.float64)
+        if solution.shape[0] != nv_old:
+            raise ValueError(
+                f"solution has {solution.shape[0]} rows, mesh has {nv_old} vertices"
+            )
+        mid_sol = 0.5 * (
+            solution[mesh.edges[marked_ids, 0]] + solution[mesh.edges[marked_ids, 1]]
+        )
+        new_solution = np.concatenate([solution, mid_sol])
+
+    # --- parallel timing: subdivision work ∝ children created ------------------
+    if part is not None and ledger is not None:
+        work = np.bincount(part, weights=child_count.astype(np.float64),
+                           minlength=ledger.nranks)
+        ledger.add_work_all(SUBDIV_WORK_PER_CHILD * work)
+        ledger.barrier()
+
+    return RefineResult(
+        mesh=new_mesh,
+        parent=parent,
+        child_count=child_count,
+        midpoint_of=midpoint_of,
+        edge_children=edge_children,
+        edge_survivor=edge_survivor,
+        solution=new_solution,
+    )

@@ -1,0 +1,34 @@
+"""The quick evaluation step gating the load balancer (paper Fig. 1).
+
+After edge marking, the predicted weights tell us how unbalanced the mesh
+*will be* once subdivided.  "A quick evaluation step determines if the new
+mesh will be so unbalanced as to warrant a repartitioning.  If the current
+partitions will remain adequately load balanced, control is passed back to
+the subdivision phase of the mesh adaptor."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["load_imbalance", "needs_repartition"]
+
+
+def load_imbalance(wcomp: np.ndarray, proc: np.ndarray, nproc: int) -> float:
+    """Max per-processor Wcomp over the balanced average (>= 1.0)."""
+    wcomp = np.asarray(wcomp, dtype=np.float64)
+    proc = np.asarray(proc, dtype=np.int64)
+    if wcomp.shape != proc.shape:
+        raise ValueError("wcomp and proc must align")
+    loads = np.bincount(proc, weights=wcomp, minlength=nproc)
+    avg = wcomp.sum() / nproc
+    return float(loads.max() / avg) if avg > 0 else 1.0
+
+
+def needs_repartition(
+    wcomp: np.ndarray, proc: np.ndarray, nproc: int, threshold: float = 1.1
+) -> bool:
+    """True when the predicted imbalance exceeds ``threshold``."""
+    if threshold < 1.0:
+        raise ValueError(f"threshold must be >= 1.0, got {threshold}")
+    return load_imbalance(wcomp, proc, nproc) > threshold

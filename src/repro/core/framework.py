@@ -1,0 +1,273 @@
+"""The full load-balanced adaptive computation cycle (paper Fig. 1).
+
+``LoadBalancedAdaptiveSolver`` wires every component together:
+
+    flow solver → edge marking → [evaluate → repartition → reassign →
+    gain/cost decision → remap] → subdivision → flow solver → …
+
+The load balancer runs between *marking* and *subdivision* (the paper's key
+§4.6 ordering, ``remap_when="before"``); setting ``remap_when="after"``
+reproduces the baseline that balances only after the mesh has grown, which
+Figs. 4 and 5 compare against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.adapt.adaptor import AdaptiveMesh
+from repro.adapt.marking import MarkingResult
+from repro.mesh.tetmesh import TetMesh
+from repro.parallel.ledger import CostLedger
+from repro.parallel.machine import MachineModel, SP2_1997
+from repro.partition.multilevel import multilevel_kway
+from repro.partition.parallel_model import partition_time
+from repro.partition.repartition import repartition
+
+from .cost import CostModel, Decision
+from .dualgraph import DualGraph
+from .evaluate import load_imbalance, needs_repartition
+from .metrics import RemapStats, remap_stats
+from .reassign import heuristic_mwbg, optimal_bmcm, optimal_mwbg
+from .remap import RemapExecution, execute_remap
+from .similarity import charge_gather_scatter, similarity_matrix
+
+__all__ = ["LoadBalancedAdaptiveSolver", "StepReport"]
+
+_REASSIGNERS = {
+    "heuristic_mwbg": lambda S, F, a, b: heuristic_mwbg(S, F=F),
+    "optimal_mwbg": lambda S, F, a, b: optimal_mwbg(S, F=F),
+    "optimal_bmcm": lambda S, F, a, b: optimal_bmcm(S, alpha=a, beta=b),
+    "combined": lambda S, F, a, b: _combined(S, a, b),
+}
+
+
+def _combined(S, alpha, beta):
+    from .combined import combined_reassign
+
+    return combined_reassign(S, lam=0.5, alpha=alpha, beta=beta)
+
+
+@dataclass
+class StepReport:
+    """Everything one adapt/balance step produced (Fig. 6's anatomy)."""
+
+    marking_time: float = 0.0
+    partition_time: float = 0.0
+    reassign_time: float = 0.0
+    gather_scatter_time: float = 0.0  #: modelled S-row gather + map scatter
+    remap_time: float = 0.0
+    subdivision_time: float = 0.0
+    imbalance_before: float = 1.0  #: predicted solver imbalance, old partition
+    imbalance_after: float = 1.0  #: solver imbalance after the step
+    repartition_triggered: bool = False
+    accepted: bool = False
+    decision: Decision | None = None
+    stats: RemapStats | None = None
+    remap: RemapExecution | None = None
+    marking: MarkingResult | None = None
+    growth_factor: float = 1.0
+    mesh_sizes: dict = field(default_factory=dict)
+
+    @property
+    def adaption_time(self) -> float:
+        """Parallel mesh-adaption time: marking + subdivision (Fig. 4)."""
+        return self.marking_time + self.subdivision_time
+
+    @property
+    def total_time(self) -> float:
+        return (
+            self.adaption_time
+            + self.partition_time
+            + self.reassign_time
+            + self.remap_time
+        )
+
+
+class LoadBalancedAdaptiveSolver:
+    """Global-view dynamic load balancing for adaptive grid calculations.
+
+    Parameters
+    ----------
+    mesh:
+        The initial computational mesh (or an existing :class:`AdaptiveMesh`).
+    nproc:
+        Number of (virtual) processors.
+    F:
+        Partitions per processor (§4.3); 1 for all the paper's experiments.
+    reassigner:
+        ``"heuristic_mwbg"`` (default), ``"optimal_mwbg"``, or
+        ``"optimal_bmcm"``.
+    remap_when:
+        ``"before"`` — move data after marking, before subdivision (§4.6);
+        ``"after"`` — the baseline: subdivide first, then balance.
+    imbalance_threshold:
+        Predicted-imbalance level above which repartitioning is attempted.
+    """
+
+    def __init__(
+        self,
+        mesh: TetMesh | AdaptiveMesh,
+        nproc: int,
+        solution: np.ndarray | None = None,
+        machine: MachineModel = SP2_1997,
+        cost_model: CostModel | None = None,
+        reassigner: str = "heuristic_mwbg",
+        F: int = 1,
+        remap_when: str = "before",
+        imbalance_threshold: float = 1.1,
+        seed: int = 0,
+    ):
+        if nproc < 1:
+            raise ValueError(f"nproc must be >= 1, got {nproc}")
+        if F < 1:
+            raise ValueError(f"F must be >= 1, got {F}")
+        if reassigner not in _REASSIGNERS:
+            raise ValueError(
+                f"unknown reassigner {reassigner!r}; choose from "
+                f"{sorted(_REASSIGNERS)}"
+            )
+        if reassigner in ("optimal_bmcm", "combined") and F != 1:
+            raise ValueError(
+                f"{reassigner} is implemented for F = 1 (as in the paper)"
+            )
+        if remap_when not in ("before", "after"):
+            raise ValueError(f"remap_when must be 'before' or 'after', got {remap_when!r}")
+        self.adaptive = mesh if isinstance(mesh, AdaptiveMesh) else AdaptiveMesh(
+            mesh, solution
+        )
+        self.nproc = nproc
+        self.F = F
+        self.machine = machine
+        self.cost_model = cost_model or CostModel(machine=machine)
+        self.reassigner = reassigner
+        self.remap_when = remap_when
+        self.imbalance_threshold = imbalance_threshold
+        self.seed = seed
+        self.dual = DualGraph(self.adaptive.initial_mesh)
+        # initial partitioning + mapping (Fig. 1's initialization box):
+        # partition id f·P… maps to processor id partition // F
+        init = multilevel_kway(self.dual.comp_graph(), F * nproc, seed=seed)
+        self.part = (init // F).astype(np.int64)
+
+    # --- observables ----------------------------------------------------------
+
+    def elem_owner(self) -> np.ndarray:
+        """Current processor of each *current-mesh* element."""
+        return self.adaptive.elem_partition(self.part)
+
+    def solver_imbalance(self) -> float:
+        """Current flow-solver load imbalance (max over average Wcomp)."""
+        return load_imbalance(self.adaptive.wcomp(), self.part, self.nproc)
+
+    def solver_phase_time(self) -> float:
+        """Modelled time of one solve phase under the current mapping."""
+        loads = np.bincount(
+            self.part, weights=self.adaptive.wcomp().astype(np.float64),
+            minlength=self.nproc,
+        )
+        return self.cost_model.solver_phase_time(float(loads.max()))
+
+    # --- the cycle ----------------------------------------------------------------
+
+    def adapt_step(
+        self,
+        edge_error: np.ndarray | None = None,
+        refine_frac: float | None = None,
+        edge_mask: np.ndarray | None = None,
+    ) -> StepReport:
+        """One pass of the Fig.-1 cycle (marking, balancing, subdivision)."""
+        report = StepReport()
+        ledger = CostLedger(self.nproc, self.machine)
+        owner = self.elem_owner()
+
+        marking = self.adaptive.mark(
+            edge_error=edge_error,
+            refine_frac=refine_frac,
+            edge_mask=edge_mask,
+            part=owner,
+            ledger=ledger,
+        )
+        report.marking = marking
+        report.marking_time = ledger.elapsed
+
+        wcomp_pred, _wremap_pred = self.adaptive.predicted_weights(marking)
+        report.imbalance_before = load_imbalance(wcomp_pred, self.part, self.nproc)
+
+        if self.remap_when == "before":
+            self._balance(report, wcomp_pred)
+            self._subdivide(report, marking)
+        else:
+            self._subdivide(report, marking)
+            self._balance(report, self.adaptive.wcomp())
+
+        report.imbalance_after = self.solver_imbalance()
+        return report
+
+    # --- internals -----------------------------------------------------------
+
+    def _subdivide(self, report: StepReport, marking: MarkingResult) -> None:
+        ledger = CostLedger(self.nproc, self.machine)
+        result = self.adaptive.refine(marking, part=self.elem_owner(), ledger=ledger)
+        report.subdivision_time = ledger.elapsed
+        report.growth_factor = result.growth_factor
+        report.mesh_sizes = self.adaptive.mesh.sizes()
+
+    def _balance(self, report: StepReport, wcomp: np.ndarray) -> None:
+        """Evaluate → repartition → reassign → decide → remap."""
+        if self.nproc == 1:
+            return
+        if not needs_repartition(
+            wcomp, self.part, self.nproc, self.imbalance_threshold
+        ):
+            return
+        report.repartition_triggered = True
+        npart = self.F * self.nproc
+
+        graph = self.dual.graph.with_vwgt(np.asarray(wcomp, dtype=np.int64))
+        old_as_parts = (self.part * self.F).astype(np.int64)
+        new_part = repartition(graph, npart, old_as_parts, seed=self.seed)
+        report.partition_time = partition_time(self.dual.n, self.nproc, self.machine)
+
+        # data physically moved: the *current* (pre- or post-subdivision)
+        # refinement trees, depending on remap_when
+        wremap_now = self.adaptive.wremap()
+        S = similarity_matrix(self.part, new_part, wremap_now, self.nproc, npart)
+        # §4.3: each processor computes its own row; a host gathers the
+        # P×F-integer rows, solves, and scatters the mapping back ("a
+        # minuscule amount of time" — modelled, so the claim is checkable)
+        gs_ledger = CostLedger(self.nproc, self.machine)
+        charge_gather_scatter(gs_ledger, npart)
+        report.gather_scatter_time = gs_ledger.elapsed
+
+        t0 = time.perf_counter()
+        proc_of_part = _REASSIGNERS[self.reassigner](
+            S, self.F, self.machine.alpha, self.machine.beta
+        )
+        report.reassign_time = time.perf_counter() - t0
+
+        new_proc = proc_of_part[new_part]
+        stats = remap_stats(S, proc_of_part, self.machine.alpha, self.machine.beta)
+        report.stats = stats
+        decision = self.cost_model.decide(
+            wcomp, self.part, new_proc, self.nproc, stats
+        )
+        report.decision = decision
+        if not decision.accept:
+            return  # the new partitioning is discarded (Fig. 1)
+
+        execu = execute_remap(
+            self.part,
+            new_proc,
+            wremap_now,
+            self.nproc,
+            storage_words=self.cost_model.storage_words,
+            machine=self.machine,
+        )
+        report.remap = execu
+        report.remap_time = execu.time_seconds
+        report.accepted = True
+        self.part = new_proc

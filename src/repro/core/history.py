@@ -1,0 +1,94 @@
+"""Adaption-run history: per-step records, cumulative accounting, export.
+
+The paper evaluates single steps; production runs execute the Fig.-1 cycle
+for many adaptions, and the quantities worth tracking accumulate — solver
+time saved, data moved, remap decisions taken.  :class:`AdaptionHistory`
+collects the framework's :class:`~repro.core.framework.StepReport` objects
+and renders the anatomy table / cumulative summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .framework import StepReport
+
+__all__ = ["AdaptionHistory"]
+
+
+@dataclass
+class AdaptionHistory:
+    """Accumulates step reports from a LoadBalancedAdaptiveSolver run."""
+
+    reports: list[StepReport] = field(default_factory=list)
+
+    def record(self, report: StepReport) -> StepReport:
+        """Append a step (returns it, so calls can be chained inline)."""
+        self.reports.append(report)
+        return report
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    # --- cumulative quantities -------------------------------------------------
+
+    @property
+    def total_elements_moved(self) -> int:
+        return sum(r.remap.elements_moved for r in self.reports if r.remap)
+
+    @property
+    def total_remap_time(self) -> float:
+        return sum(r.remap_time for r in self.reports)
+
+    @property
+    def total_adaption_time(self) -> float:
+        return sum(r.adaption_time for r in self.reports)
+
+    @property
+    def accepted_steps(self) -> int:
+        return sum(1 for r in self.reports if r.accepted)
+
+    @property
+    def rejected_steps(self) -> int:
+        return sum(
+            1 for r in self.reports if r.repartition_triggered and not r.accepted
+        )
+
+    def imbalance_trajectory(self) -> list[tuple[float, float]]:
+        """(before, after) predicted/actual imbalance per step."""
+        return [(r.imbalance_before, r.imbalance_after) for r in self.reports]
+
+    # --- rendering -----------------------------------------------------------------
+
+    def anatomy_table(self) -> str:
+        """Per-step phase times in the style of the paper's Fig. 6."""
+        hdr = (
+            f"{'step':>4s} {'mark':>9s} {'part':>9s} {'reass':>9s} "
+            f"{'remap':>9s} {'subdiv':>9s} {'imb_in':>7s} {'imb_out':>8s} "
+            f"{'G':>6s} {'status':>9s}"
+        )
+        lines = [hdr]
+        for i, r in enumerate(self.reports, 1):
+            status = (
+                "remapped" if r.accepted
+                else ("rejected" if r.repartition_triggered else "balanced")
+            )
+            lines.append(
+                f"{i:4d} {r.marking_time:9.4f} {r.partition_time:9.4f} "
+                f"{r.reassign_time:9.4f} {r.remap_time:9.4f} "
+                f"{r.subdivision_time:9.4f} {r.imbalance_before:7.2f} "
+                f"{r.imbalance_after:8.2f} {r.growth_factor:6.2f} {status:>9s}"
+            )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        n = len(self.reports)
+        if n == 0:
+            return "no adaption steps recorded"
+        return (
+            f"{n} steps: {self.accepted_steps} remapped, "
+            f"{self.rejected_steps} rejected, "
+            f"{n - self.accepted_steps - self.rejected_steps} already balanced; "
+            f"moved {self.total_elements_moved} refinement-tree nodes in "
+            f"{self.total_remap_time:.4f}s; adaption {self.total_adaption_time:.4f}s"
+        )

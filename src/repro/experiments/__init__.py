@@ -1,0 +1,36 @@
+"""Reproduction harness for every table and figure of the paper's §5."""
+
+from .cases import CASE_NAMES, PROC_COUNTS, REAL_FRACTIONS, RotorCase, make_case
+from .figures import (
+    PAPER_G,
+    fig4_speedup,
+    fig5_remap_times,
+    fig6_anatomy,
+    fig7_max_improvement,
+    fig8_actual_improvement,
+    max_improvement,
+)
+from .sweep import SWEEP_PROCS, case_for, run_step
+from .table1 import grid_sizes
+from .table2 import MapperRow, mapper_comparison
+
+__all__ = [
+    "CASE_NAMES",
+    "MapperRow",
+    "PAPER_G",
+    "PROC_COUNTS",
+    "REAL_FRACTIONS",
+    "RotorCase",
+    "SWEEP_PROCS",
+    "case_for",
+    "fig4_speedup",
+    "fig5_remap_times",
+    "fig6_anatomy",
+    "fig7_max_improvement",
+    "fig8_actual_improvement",
+    "grid_sizes",
+    "make_case",
+    "mapper_comparison",
+    "max_improvement",
+    "run_step",
+]

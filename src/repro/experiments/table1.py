@@ -1,0 +1,20 @@
+"""Table 1: grid sizes after one refinement level of each strategy."""
+
+from __future__ import annotations
+
+from repro.adapt.adaptor import AdaptiveMesh
+
+from .cases import CASE_NAMES, RotorCase
+
+__all__ = ["grid_sizes"]
+
+
+def grid_sizes(case: RotorCase) -> dict[str, dict[str, int]]:
+    """Rows of Table 1: Initial plus one row per Real strategy."""
+    rows = {"Initial": case.mesh.sizes()}
+    for name in CASE_NAMES:
+        am = AdaptiveMesh(case.mesh, solution=case.solution)
+        marking = am.mark(edge_mask=case.marking_mask(name))
+        am.refine(marking)
+        rows[name] = am.mesh.sizes()
+    return rows

@@ -1,0 +1,185 @@
+"""Hexahedral meshes — the "any polyhedra" claim of paper §2.
+
+"An edge-based data structure does not limit the user to a particular type
+of volume element.  Even though tetrahedral elements are used in this
+paper, any arbitrary combination of polyhedra can be used.  This is also
+true for our load balancing procedure."
+
+:class:`HexMesh` carries the same structural interface the load balancer
+consumes from :class:`~repro.mesh.tetmesh.TetMesh` — ``ne``, ``coords``,
+``elems``, ``dual_pairs`` (elements sharing a face), ``edges`` — so
+:class:`~repro.core.dualgraph.DualGraph`, the partitioners, the similarity
+matrix, the reassignment algorithms, and the remapper all run on it
+unchanged (demonstrated in tests).  Mesh *adaption* remains tet-specific,
+exactly as in the paper.
+
+Local numbering (VTK hexahedron order): vertices 0-3 are the bottom quad
+(counter-clockwise seen from below), 4-7 the top quad above them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["HexMesh", "hex_box_mesh", "HEX_EDGES", "HEX_FACES"]
+
+#: The 12 edges of a hexahedron (local vertex pairs).
+HEX_EDGES = np.array(
+    [
+        (0, 1), (1, 2), (2, 3), (3, 0),  # bottom
+        (4, 5), (5, 6), (6, 7), (7, 4),  # top
+        (0, 4), (1, 5), (2, 6), (3, 7),  # verticals
+    ],
+    dtype=np.int64,
+)
+
+#: The 6 quadrilateral faces (local vertex quadruples).
+HEX_FACES = np.array(
+    [
+        (0, 1, 2, 3),  # bottom
+        (4, 5, 6, 7),  # top
+        (0, 1, 5, 4),
+        (1, 2, 6, 5),
+        (2, 3, 7, 6),
+        (3, 0, 4, 7),
+    ],
+    dtype=np.int64,
+)
+
+
+@dataclass
+class HexMesh:
+    """Structured-topology hexahedral mesh with dual-graph connectivity."""
+
+    coords: np.ndarray
+    elems: np.ndarray  #: (ne, 8) vertex ids in VTK order
+    edges: np.ndarray = field(repr=False)
+    elem2edge: np.ndarray = field(repr=False)
+    bnd_faces: np.ndarray = field(repr=False)  #: (nb, 4) quad vertex ids
+    dual_pairs: np.ndarray = field(repr=False)
+
+    @classmethod
+    def from_elems(cls, coords: np.ndarray, elems: np.ndarray) -> "HexMesh":
+        coords = np.ascontiguousarray(coords, dtype=np.float64)
+        elems = np.ascontiguousarray(elems, dtype=np.int64)
+        if coords.ndim != 2 or coords.shape[1] != 3:
+            raise ValueError(f"coords must be (nv, 3), got {coords.shape}")
+        if elems.ndim != 2 or elems.shape[1] != 8:
+            raise ValueError(f"elems must be (ne, 8), got {elems.shape}")
+        nv = coords.shape[0]
+        if elems.size and (elems.min() < 0 or elems.max() >= nv):
+            raise ValueError("element vertex index out of range")
+
+        # unique edges (same recipe as the tet mesh, 12 per element)
+        pairs = elems[:, HEX_EDGES]
+        lo = pairs.min(axis=2).astype(np.int64)
+        hi = pairs.max(axis=2).astype(np.int64)
+        keys = lo * nv + hi
+        uniq, inverse = np.unique(keys.ravel(), return_inverse=True)
+        edges = np.column_stack([uniq // nv, uniq % nv]).astype(np.int64)
+        elem2edge = inverse.reshape(elems.shape[0], 12).astype(np.int64)
+
+        # quad faces: key on the sorted vertex quadruple
+        quads = np.sort(elems[:, HEX_FACES], axis=2).astype(np.int64)  # (ne,6,4)
+        fkeys = (
+            ((quads[..., 0] * nv + quads[..., 1]) * nv + quads[..., 2]) * nv
+            + quads[..., 3]
+        )
+        flat = fkeys.ravel()
+        owner = np.repeat(np.arange(elems.shape[0], dtype=np.int64), 6)
+        order = np.argsort(flat, kind="stable")
+        skeys, sown = flat[order], owner[order]
+        if skeys.shape[0]:
+            first = np.r_[True, skeys[1:] != skeys[:-1]]
+            starts = np.flatnonzero(first)
+            counts = np.diff(np.append(starts, skeys.shape[0]))
+            if np.any(counts > 2):
+                raise ValueError("non-manifold hex mesh: face in >2 elements")
+            b_idx = starts[counts == 1]
+            i_idx = starts[counts == 2]
+            face_flat = elems[:, HEX_FACES].reshape(-1, 4)
+            bnd_faces = face_flat[order[b_idx]]
+            dual_pairs = np.column_stack([sown[i_idx], sown[i_idx + 1]])
+        else:
+            bnd_faces = np.empty((0, 4), dtype=np.int64)
+            dual_pairs = np.empty((0, 2), dtype=np.int64)
+        return cls(
+            coords=coords,
+            elems=elems,
+            edges=edges,
+            elem2edge=elem2edge,
+            bnd_faces=bnd_faces,
+            dual_pairs=dual_pairs,
+        )
+
+    @property
+    def nv(self) -> int:
+        return self.coords.shape[0]
+
+    @property
+    def ne(self) -> int:
+        return self.elems.shape[0]
+
+    @property
+    def nedges(self) -> int:
+        return self.edges.shape[0]
+
+    def volumes(self) -> np.ndarray:
+        """Element volumes by decomposition into 6 tetrahedra per hex."""
+        from .geometry import tet_volumes
+
+        # Kuhn decomposition along the 0-6 diagonal
+        tets = np.array(
+            [
+                (0, 1, 2, 6), (0, 2, 3, 6), (0, 3, 7, 6),
+                (0, 7, 4, 6), (0, 4, 5, 6), (0, 5, 1, 6),
+            ]
+        )
+        vols = np.zeros(self.ne)
+        for t in tets:
+            vols += np.abs(tet_volumes(self.coords, self.elems[:, t]))
+        return vols
+
+    def total_volume(self) -> float:
+        return float(self.volumes().sum())
+
+    def element_centroids(self) -> np.ndarray:
+        return self.coords[self.elems].mean(axis=1)
+
+
+def hex_box_mesh(
+    nx: int,
+    ny: int,
+    nz: int,
+    bounds: tuple[tuple[float, float], ...] = ((0, 1), (0, 1), (0, 1)),
+) -> HexMesh:
+    """Structured box of ``nx*ny*nz`` hexahedra."""
+    if min(nx, ny, nz) < 1:
+        raise ValueError(f"need at least one cell per axis, got {(nx, ny, nz)}")
+    axes = [np.linspace(lo, hi, n + 1) for (lo, hi), n in zip(bounds, (nx, ny, nz))]
+    grid = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1)
+    coords = grid.reshape(-1, 3)
+
+    def vid(i, j, k):
+        return (i * (ny + 1) + j) * (nz + 1) + k
+
+    ci, cj, ck = np.meshgrid(
+        np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+    )
+    ci, cj, ck = ci.ravel(), cj.ravel(), ck.ravel()
+    # VTK order: bottom quad CCW, then top quad
+    elems = np.column_stack(
+        [
+            vid(ci, cj, ck),
+            vid(ci + 1, cj, ck),
+            vid(ci + 1, cj + 1, ck),
+            vid(ci, cj + 1, ck),
+            vid(ci, cj, ck + 1),
+            vid(ci + 1, cj, ck + 1),
+            vid(ci + 1, cj + 1, ck + 1),
+            vid(ci, cj + 1, ck + 1),
+        ]
+    )
+    return HexMesh.from_elems(coords, elems)

@@ -1,0 +1,108 @@
+"""Mesh persistence and export.
+
+The paper's finalization phase exists so "the host can then interface the
+mesh directly to the appropriate post-processing module" (visualization,
+restart snapshots).  This module provides both: a lossless NumPy archive
+for restarts and a legacy-ASCII VTK export for viewers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .tetmesh import TetMesh
+
+__all__ = ["save_mesh", "load_mesh", "write_vtk"]
+
+_FORMAT_VERSION = 1
+
+
+def save_mesh(path: str, mesh: TetMesh, solution: np.ndarray | None = None) -> None:
+    """Save a mesh (and optional vertex solution) to a ``.npz`` archive.
+
+    Only coords and elems are stored; connectivity is re-derived on load,
+    which both keeps snapshots small and guarantees the loaded mesh passes
+    the same invariants as a freshly built one.
+    """
+    payload = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "coords": mesh.coords,
+        "elems": mesh.elems,
+    }
+    if solution is not None:
+        solution = np.asarray(solution, dtype=np.float64)
+        if solution.shape[0] != mesh.nv:
+            raise ValueError(
+                f"solution has {solution.shape[0]} rows for {mesh.nv} vertices"
+            )
+        payload["solution"] = solution
+    np.savez_compressed(path, **payload)
+
+
+def load_mesh(path: str) -> tuple[TetMesh, np.ndarray | None]:
+    """Load a mesh saved by :func:`save_mesh`; returns (mesh, solution)."""
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported mesh format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        mesh = TetMesh.from_elems(data["coords"], data["elems"], orient=False)
+        solution = data["solution"] if "solution" in data else None
+    return mesh, solution
+
+
+def write_vtk(
+    path: str,
+    mesh: TetMesh,
+    point_data: dict[str, np.ndarray] | None = None,
+    cell_data: dict[str, np.ndarray] | None = None,
+    title: str = "repro mesh",
+) -> None:
+    """Write a legacy-ASCII VTK unstructured grid (tetra cells).
+
+    ``point_data``/``cell_data`` map field names to per-vertex/per-element
+    scalar arrays.
+    """
+    point_data = point_data or {}
+    cell_data = cell_data or {}
+    for name, arr in point_data.items():
+        if np.asarray(arr).shape[0] != mesh.nv:
+            raise ValueError(f"point field {name!r} must have {mesh.nv} values")
+    for name, arr in cell_data.items():
+        if np.asarray(arr).shape[0] != mesh.ne:
+            raise ValueError(f"cell field {name!r} must have {mesh.ne} values")
+
+    lines = [
+        "# vtk DataFile Version 3.0",
+        title,
+        "ASCII",
+        "DATASET UNSTRUCTURED_GRID",
+        f"POINTS {mesh.nv} double",
+    ]
+    lines.extend(" ".join(f"{x:.17g}" for x in p) for p in mesh.coords)
+    lines.append(f"CELLS {mesh.ne} {5 * mesh.ne}")
+    lines.extend("4 " + " ".join(str(v) for v in e) for e in mesh.elems)
+    lines.append(f"CELL_TYPES {mesh.ne}")
+    lines.extend("10" for _ in range(mesh.ne))  # VTK_TETRA
+
+    def emit_fields(kind: str, count: int, fields: dict) -> None:
+        if not fields:
+            return
+        lines.append(f"{kind} {count}")
+        for name, arr in fields.items():
+            arr = np.asarray(arr, dtype=np.float64).ravel()
+            lines.append(f"SCALARS {name} double 1")
+            lines.append("LOOKUP_TABLE default")
+            lines.extend(f"{v:.17g}" for v in arr)
+
+    emit_fields("POINT_DATA", mesh.nv, point_data)
+    emit_fields("CELL_DATA", mesh.ne, cell_data)
+
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as f:
+        f.write("\n".join(lines) + "\n")
+    os.replace(tmp, path)

@@ -1,0 +1,144 @@
+"""One-sided communication (RMA) on the virtual machine.
+
+Mirrors the MPI-3 window model at mpi4py's level of abstraction: every
+rank exposes a buffer; ``Put``/``Get``/``Accumulate`` access a *target*
+rank's buffer under a lock.  In the virtual machine the passive target
+does not execute code, so one-sided operations are brokered by the
+scheduler itself: the window keeps the authoritative buffers, an epoch
+counter serialises lock acquisition deterministically, and each operation
+charges the origin rank the transfer time (the remote-memory-latency model
+of the paper's :math:`T_{lat}`).
+
+Usage inside a rank program::
+
+    win = yield from RmaWindow.allocate(comm, nwords=10)
+    yield from win.lock(target=0)
+    yield from win.put(np.arange(10.0), target=0)
+    got = yield from win.get(target=0, count=10)
+    yield from win.unlock(target=0)
+    yield from win.fence()
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RmaWindow"]
+
+
+class _WindowState:
+    """Shared (scheduler-side) state of one window allocation."""
+
+    def __init__(self, nranks: int, nwords: int):
+        self.buffers = [np.zeros(nwords) for _ in range(nranks)]
+        self.locked_by: list[int | None] = [None] * nranks
+        self.nwords = nwords
+
+
+class RmaWindow:
+    """A one-sided window bound to one rank of a VM run."""
+
+    def __init__(self, comm, state: _WindowState):
+        self._comm = comm
+        self._state = state
+
+    # --- collective lifecycle ------------------------------------------------
+
+    @staticmethod
+    def allocate(comm, nwords: int):
+        """Collective window allocation (all ranks, same ``nwords``).
+
+        Rank 0 creates the shared window state and broadcasts the handle
+        (the virtual machine delivers in-process object references, which
+        is precisely what shared remotely-accessible memory is here).
+        """
+        if nwords < 1:
+            raise ValueError(f"nwords must be >= 1, got {nwords}")
+        sizes = yield from comm.allgather(nwords)
+        if len(set(sizes)) != 1:
+            raise ValueError(f"window sizes differ across ranks: {sizes}")
+        state = _WindowState(comm.size, nwords) if comm.rank == 0 else None
+        state = yield from comm.bcast(state, root=0)
+        return RmaWindow(comm, state)
+
+    # --- synchronisation -----------------------------------------------------
+
+    def lock(self, target: int):
+        """Acquire the (exclusive) lock on ``target``'s window.
+
+        Lock acquisition costs one message round-trip to the target's node
+        (the passive side's memory agent), and spins — deterministically —
+        while another origin holds the lock.
+        """
+        self._check_target(target)
+        backoff = max(self._comm.machine.t_setup, 1e-9)
+        while self._state.locked_by[target] is not None:
+            # back off one message latency and retry; the deterministic
+            # scheduler guarantees a total order of acquisitions (nonzero
+            # backoff keeps virtual time advancing on ideal machines too)
+            yield from self._comm.elapse(backoff)
+        self._state.locked_by[target] = self._comm.rank
+        yield from self._comm.elapse(self._comm.machine.msg_time(1))
+
+    def unlock(self, target: int):
+        self._check_target(target)
+        if self._state.locked_by[target] != self._comm.rank:
+            raise RuntimeError(
+                f"rank {self._comm.rank} does not hold the lock on {target}"
+            )
+        self._state.locked_by[target] = None
+        yield from self._comm.elapse(self._comm.machine.msg_time(1))
+
+    def fence(self):
+        """Collective synchronisation (MPI_Win_fence)."""
+        yield from self._comm.barrier()
+
+    # --- data movement ----------------------------------------------------------
+
+    def put(self, data: np.ndarray, target: int, offset: int = 0):
+        """Write ``data`` into the target buffer at ``offset``."""
+        self._require_lock(target)
+        data = np.asarray(data, dtype=np.float64).ravel()
+        self._check_range(offset, data.shape[0])
+        self._state.buffers[target][offset : offset + data.shape[0]] = data
+        yield from self._comm.elapse(self._comm.machine.msg_time(data.shape[0]))
+
+    def get(self, target: int, count: int, offset: int = 0):
+        """Read ``count`` words from the target buffer at ``offset``."""
+        self._require_lock(target)
+        self._check_range(offset, count)
+        yield from self._comm.elapse(self._comm.machine.msg_time(count))
+        return self._state.buffers[target][offset : offset + count].copy()
+
+    def accumulate(self, data: np.ndarray, target: int, offset: int = 0):
+        """Element-wise += into the target buffer (MPI_Accumulate, SUM)."""
+        self._require_lock(target)
+        data = np.asarray(data, dtype=np.float64).ravel()
+        self._check_range(offset, data.shape[0])
+        self._state.buffers[target][offset : offset + data.shape[0]] += data
+        yield from self._comm.elapse(self._comm.machine.msg_time(data.shape[0]))
+
+    @property
+    def local(self) -> np.ndarray:
+        """This rank's own window buffer (direct access)."""
+        return self._state.buffers[self._comm.rank]
+
+    # --- checks -------------------------------------------------------------------
+
+    def _check_target(self, target: int) -> None:
+        if not 0 <= target < self._comm.size:
+            raise ValueError(f"invalid target rank {target}")
+
+    def _require_lock(self, target: int) -> None:
+        self._check_target(target)
+        if self._state.locked_by[target] != self._comm.rank:
+            raise RuntimeError(
+                f"rank {self._comm.rank} must lock target {target} before access"
+            )
+
+    def _check_range(self, offset: int, count: int) -> None:
+        if offset < 0 or offset + count > self._state.nwords:
+            raise ValueError(
+                f"access [{offset}, {offset + count}) outside window of "
+                f"{self._state.nwords} words"
+            )

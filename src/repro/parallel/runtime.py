@@ -1,0 +1,285 @@
+"""Deterministic event-driven runtime for SPMD rank programs.
+
+A *rank program* is a generator function ``program(comm, ...)`` that yields
+communication/computation operations (usually indirectly, through
+``yield from comm.<op>(...)``).  The :class:`VirtualMachine` scheduler
+advances per-rank virtual clocks under a :class:`~repro.parallel.machine.MachineModel`,
+matches sends with receives, and reports the makespan and traffic of the run.
+
+The model is a buffered postal model: ``send`` charges the sender the full
+message time and completes immediately; ``recv`` blocks until a matching
+message has arrived (arrival time = sender's clock when the send completed)
+and charges the receiver a posting overhead.  Messages between a fixed
+(source, dest, tag) triple are delivered in FIFO order, and scheduling
+ties are broken by rank id, so runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from .machine import MachineModel, SP2_1997, word_count
+
+__all__ = ["VirtualMachine", "RunResult", "TraceEvent", "DeadlockError", "ANY"]
+
+#: Wildcard for ``recv`` source/tag matching.
+ANY = -1
+
+
+class DeadlockError(RuntimeError):
+    """Raised when no rank can make progress but some are still blocked."""
+
+
+# --- operation descriptors yielded by rank programs ------------------------
+
+
+@dataclass(frozen=True)
+class SendOp:
+    dest: int
+    tag: int
+    payload: Any
+    nwords: int
+
+
+@dataclass(frozen=True)
+class RecvOp:
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class ProbeOp:
+    """Non-blocking probe: resolve immediately with (matched, message)."""
+
+    source: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class WorkOp:
+    units: float
+
+
+@dataclass(frozen=True)
+class ElapseOp:
+    seconds: float
+
+
+@dataclass
+class _Message:
+    source: int
+    tag: int
+    payload: Any
+    nwords: int
+    arrival: float
+    seq: int
+
+
+@dataclass
+class _Rank:
+    rank: int
+    gen: Iterator
+    clock: float = 0.0
+    blocked_on: RecvOp | None = None
+    done: bool = False
+    retval: Any = None
+    send_value: Any = None  # value to inject at the next generator step
+    mailbox: list[_Message] = field(default_factory=list)
+    words_sent: int = 0
+    msgs_sent: int = 0
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduler event, recorded when tracing is enabled."""
+
+    time: float
+    rank: int
+    kind: str  # "send" | "recv" | "work"
+    detail: tuple
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of a :meth:`VirtualMachine.run` call."""
+
+    returns: list
+    clocks: list[float]
+    total_messages: int
+    total_words: int
+    words_sent_per_rank: list[int]
+    trace: list[TraceEvent] | None = None
+
+    @property
+    def makespan(self) -> float:
+        """Virtual wall-clock time of the run (slowest rank)."""
+        return max(self.clocks) if self.clocks else 0.0
+
+
+class VirtualMachine:
+    """A virtual message-passing machine with ``nranks`` processors.
+
+    With ``trace=True`` the scheduler records every send, receive, and
+    work event with its virtual timestamp (useful for debugging rank
+    programs and visualising communication schedules).
+    """
+
+    def __init__(self, nranks: int, machine: MachineModel = SP2_1997,
+                 trace: bool = False):
+        if nranks < 1:
+            raise ValueError(f"need at least one rank, got {nranks}")
+        self.nranks = nranks
+        self.machine = machine
+        self.trace = trace
+
+    def run(self, program: Callable, *args, **kwargs) -> RunResult:
+        """Run ``program(comm, *args, **kwargs)`` on every rank.
+
+        ``program`` must be a generator function.  Per-rank arguments can be
+        passed by giving a list/tuple of length ``nranks`` wrapped in
+        :func:`per_rank`.
+        """
+        from .simcomm import Comm
+
+        ranks: list[_Rank] = []
+        for r in range(self.nranks):
+            comm = Comm(r, self.nranks, self.machine)
+            a = [x.values[r] if isinstance(x, per_rank) else x for x in args]
+            kw = {
+                k: (v.values[r] if isinstance(v, per_rank) else v)
+                for k, v in kwargs.items()
+            }
+            gen = program(comm, *a, **kw)
+            if not hasattr(gen, "send"):
+                raise TypeError(
+                    "rank program must be a generator function "
+                    f"(got {type(gen).__name__} from {program!r})"
+                )
+            ranks.append(_Rank(r, gen))
+
+        ready: list[tuple[float, int]] = [(0.0, r) for r in range(self.nranks)]
+        heapq.heapify(ready)
+        seq = 0
+        events: list[TraceEvent] | None = [] if self.trace else None
+
+        while ready:
+            clock, r = heapq.heappop(ready)
+            st = ranks[r]
+            if st.done:
+                continue
+            st.clock = max(st.clock, clock)
+            try:
+                op = st.gen.send(st.send_value)
+            except StopIteration as stop:
+                st.done = True
+                st.retval = stop.value
+                continue
+            st.send_value = None
+
+            if isinstance(op, WorkOp):
+                st.clock += self.machine.work_time(op.units)
+                if events is not None:
+                    events.append(TraceEvent(st.clock, r, "work", (op.units,)))
+                heapq.heappush(ready, (st.clock, r))
+            elif isinstance(op, ElapseOp):
+                if op.seconds < 0:
+                    raise ValueError(f"negative elapse: {op.seconds}")
+                st.clock += op.seconds
+                heapq.heappush(ready, (st.clock, r))
+            elif isinstance(op, SendOp):
+                if not 0 <= op.dest < self.nranks:
+                    raise ValueError(f"rank {r}: send to invalid rank {op.dest}")
+                st.clock += self.machine.msg_time(op.nwords)
+                st.words_sent += op.nwords
+                st.msgs_sent += 1
+                seq += 1
+                if events is not None:
+                    events.append(
+                        TraceEvent(st.clock, r, "send", (op.dest, op.tag, op.nwords))
+                    )
+                msg = _Message(r, op.tag, op.payload, op.nwords, st.clock, seq)
+                dst = ranks[op.dest]
+                dst.mailbox.append(msg)
+                if dst.blocked_on is not None and self._matches(dst.blocked_on, msg):
+                    self._deliver(dst, ready, events)
+                heapq.heappush(ready, (st.clock, r))
+            elif isinstance(op, ProbeOp):
+                ready_msgs = [
+                    m
+                    for m in st.mailbox
+                    if self._matches(RecvOp(op.source, op.tag), m)
+                    and m.arrival <= st.clock
+                ]
+                if ready_msgs:
+                    msg = min(ready_msgs, key=lambda m: m.seq)
+                    st.mailbox.remove(msg)
+                    st.clock += self.machine.t_setup
+                    st.send_value = (True, (msg.payload, msg.source, msg.tag))
+                else:
+                    st.send_value = (False, None)
+                heapq.heappush(ready, (st.clock, r))
+            elif isinstance(op, RecvOp):
+                st.blocked_on = op
+                if any(self._matches(op, m) for m in st.mailbox):
+                    self._deliver(st, ready, events)
+                # else: stays blocked until a matching send arrives
+            else:
+                raise TypeError(f"rank {r} yielded unknown op {op!r}")
+
+        blocked = [s.rank for s in ranks if not s.done]
+        if blocked:
+            raise DeadlockError(
+                f"ranks {blocked} are blocked on receives that never arrive"
+            )
+
+        return RunResult(
+            returns=[s.retval for s in ranks],
+            clocks=[s.clock for s in ranks],
+            total_messages=sum(s.msgs_sent for s in ranks),
+            total_words=sum(s.words_sent for s in ranks),
+            words_sent_per_rank=[s.words_sent for s in ranks],
+            trace=events,
+        )
+
+    @staticmethod
+    def _matches(op: RecvOp, msg: _Message) -> bool:
+        return (op.source in (ANY, msg.source)) and (op.tag in (ANY, msg.tag))
+
+    def _deliver(self, st: _Rank, ready: list,
+                 events: list | None = None) -> None:
+        """Hand the oldest matching message to a rank blocked on a recv."""
+        op = st.blocked_on
+        assert op is not None
+        best = min(
+            (m for m in st.mailbox if self._matches(op, m)), key=lambda m: m.seq
+        )
+        st.mailbox.remove(best)
+        st.blocked_on = None
+        st.clock = max(st.clock + self.machine.t_setup, best.arrival)
+        if events is not None:
+            events.append(
+                TraceEvent(st.clock, st.rank, "recv",
+                           (best.source, best.tag, best.nwords))
+            )
+        st.send_value = (best.payload, best.source, best.tag)
+        heapq.heappush(ready, (st.clock, st.rank))
+
+
+class per_rank:
+    """Wrapper marking an argument as per-rank in :meth:`VirtualMachine.run`.
+
+    ``vm.run(prog, per_rank([a0, a1, ...]))`` passes ``a_r`` to rank ``r``.
+    """
+
+    def __init__(self, values):
+        self.values = list(values)
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"per_rank({self.values!r})"
+
+
+def make_send(dest: int, tag: int, payload: Any, nwords: int | None = None) -> SendOp:
+    """Build a :class:`SendOp`, measuring the payload if no size is given."""
+    return SendOp(dest, tag, payload, word_count(payload) if nwords is None else nwords)

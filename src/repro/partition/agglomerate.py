@@ -1,0 +1,59 @@
+"""Superelement agglomeration (paper §4.1).
+
+"One minor disadvantage of using the dual grid is when the initial
+computational mesh is either too large ...  For extremely large initial
+meshes, the partitioning time will be excessive.  This problem can be
+circumvented by agglomerating groups of elements into larger
+superelements."
+
+:func:`agglomerate` repeatedly contracts heavy-edge matchings of the dual
+graph until it shrinks below a target size, returning the superelement
+graph and the element→superelement map; :func:`expand_partition` projects
+a superelement partition back to elements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .contract import contract
+from .graph import Graph
+from .matching import heavy_edge_matching
+
+__all__ = ["agglomerate", "expand_partition"]
+
+
+def agglomerate(
+    graph: Graph, target_n: int, seed: int = 0, max_rounds: int = 32
+) -> tuple[Graph, np.ndarray]:
+    """Contract ``graph`` until it has at most ``target_n`` vertices.
+
+    Returns ``(supergraph, emap)`` with ``emap[v]`` the superelement of
+    fine vertex ``v``.  Superelement weights are the sums of their
+    members, so any partitioner balancing the supergraph balances the
+    original weights (up to superelement granularity).
+    """
+    if target_n < 1:
+        raise ValueError(f"target_n must be >= 1, got {target_n}")
+    rng = np.random.default_rng(seed)
+    emap = np.arange(graph.n, dtype=np.int64)
+    g = graph
+    rounds = 0
+    while g.n > target_n and rounds < max_rounds:
+        match = heavy_edge_matching(g, rng)
+        coarse, cmap = contract(g, match)
+        if coarse.n >= g.n:  # nothing matched (e.g. no edges): stop
+            break
+        emap = cmap[emap]
+        g = coarse
+        rounds += 1
+    return g, emap
+
+
+def expand_partition(emap: np.ndarray, superpart: np.ndarray) -> np.ndarray:
+    """Project a superelement partition back onto the fine elements."""
+    emap = np.asarray(emap, dtype=np.int64)
+    superpart = np.asarray(superpart, dtype=np.int64)
+    if emap.size and emap.max() >= superpart.shape[0]:
+        raise ValueError("emap refers to superelements outside superpart")
+    return superpart[emap]

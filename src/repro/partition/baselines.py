@@ -1,0 +1,67 @@
+"""Baseline partitioners for comparison and testing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["random_partition", "block_partition", "rcb_partition"]
+
+
+def random_partition(graph: Graph, k: int, seed: int = 0) -> np.ndarray:
+    """Uniform random assignment — the worst-case locality baseline."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, k, size=graph.n).astype(np.int64)
+
+
+def block_partition(graph: Graph, k: int) -> np.ndarray:
+    """Contiguous index blocks balanced by vertex weight.
+
+    Splits the vertex sequence at the points where the cumulative weight
+    crosses multiples of ``total/k`` — the "no partitioner" baseline that a
+    mesh generator's element ordering would give you.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    cw = np.cumsum(graph.vwgt)
+    total = cw[-1] if cw.size else 0
+    bounds = total * (np.arange(1, k) / k)
+    # bucket each vertex by its weight midpoint so an indivisible heavy
+    # vertex lands on whichever side of the boundary it overlaps most
+    mid = cw - graph.vwgt / 2.0
+    part = np.searchsorted(bounds, mid, side="right").astype(np.int64)
+    return np.minimum(part, k - 1)
+
+
+def rcb_partition(points: np.ndarray, vwgt: np.ndarray, k: int) -> np.ndarray:
+    """Recursive coordinate bisection on vertex coordinates.
+
+    The geometric method classically used for mesh partitioning before
+    multilevel graph methods; splits along the longest axis at the weighted
+    median, recursively, with proportional weight splits for non-power-of-2
+    ``k``.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    vwgt = np.asarray(vwgt, dtype=np.float64)
+    if points.shape[0] != vwgt.shape[0]:
+        raise ValueError("points and vwgt must align")
+    out = np.zeros(points.shape[0], dtype=np.int64)
+    _rcb(points, vwgt, np.arange(points.shape[0]), k, 0, out)
+    return out
+
+
+def _rcb(points, vwgt, idx, k, offset, out):
+    if k == 1 or idx.size <= 1:
+        out[idx] = offset
+        return
+    k0 = (k + 1) // 2
+    pts = points[idx]
+    axis = int(np.argmax(pts.max(axis=0) - pts.min(axis=0)))
+    order = idx[np.argsort(pts[:, axis], kind="stable")]
+    cw = np.cumsum(vwgt[order])
+    total = cw[-1]
+    split = int(np.searchsorted(cw, total * k0 / k, side="left")) + 1
+    split = min(max(split, 1), idx.size - 1)
+    _rcb(points, vwgt, order[:split], k0, offset, out)
+    _rcb(points, vwgt, order[split:], k - k0, offset + k0, out)

@@ -1,0 +1,39 @@
+"""Graph contraction: collapse a matching into a coarser graph."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["contract"]
+
+
+def contract(graph: Graph, match: np.ndarray) -> tuple[Graph, np.ndarray]:
+    """Collapse matched pairs; returns ``(coarse_graph, cmap)``.
+
+    ``cmap[v]`` is the coarse vertex of fine vertex ``v``.  Coarse vertex
+    weights are the sums of their constituents; parallel edges between
+    coarse vertices merge with weights summed; internal edges vanish.
+    """
+    n = graph.n
+    match = np.asarray(match, dtype=np.int64)
+    if match.shape != (n,):
+        raise ValueError(f"match must have shape ({n},)")
+    # representative = min(v, match[v]); coarse ids by order of representative
+    rep = np.minimum(np.arange(n), match)
+    uniq, cmap = np.unique(rep, return_inverse=True)
+    nc = uniq.shape[0]
+    cvwgt = np.bincount(cmap, weights=graph.vwgt.astype(np.float64), minlength=nc)
+    # fine edges -> coarse edges
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.ptr))
+    csrc = cmap[src]
+    cdst = cmap[graph.adj]
+    keep = csrc != cdst
+    pairs = np.column_stack([csrc[keep], cdst[keep]])
+    # each undirected fine edge appears twice; halve by keeping src < dst
+    half = pairs[:, 0] < pairs[:, 1]
+    coarse = Graph.from_pairs(
+        pairs[half], nc, vwgt=cvwgt.astype(np.int64), ewgt=graph.ewgt[keep][half]
+    )
+    return coarse, cmap

@@ -1,0 +1,55 @@
+"""Heavy-edge matching for multilevel coarsening (Karypis & Kumar).
+
+Visits vertices in a (seeded) random order; each unmatched vertex matches
+the unmatched neighbour connected by the heaviest edge.  Collapsing heavy
+edges early removes as much edge weight as possible from coarser levels,
+which is what lets the coarsest-level partition already be a good one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["heavy_edge_matching"]
+
+
+def heavy_edge_matching(
+    graph: Graph,
+    rng: np.random.Generator,
+    allowed: np.ndarray | None = None,
+) -> np.ndarray:
+    """Return ``match`` with ``match[v]`` = partner of ``v`` (or ``v`` itself).
+
+    Parameters
+    ----------
+    allowed:
+        Optional per-vertex labels; vertices may only match within the same
+        label.  The seeded repartitioner uses this to keep coarsening from
+        crossing old-partition boundaries, so the old partition projects
+        exactly onto every coarse level.
+    """
+    n = graph.n
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    ptr, adj, ewgt = graph.ptr, graph.adj, graph.ewgt
+    for v in order:
+        if match[v] != -1:
+            continue
+        nbrs = adj[ptr[v] : ptr[v + 1]]
+        wts = ewgt[ptr[v] : ptr[v + 1]]
+        free = match[nbrs] == -1
+        if allowed is not None:
+            free &= allowed[nbrs] == allowed[v]
+        if free.any():
+            cand = np.flatnonzero(free)
+            # heaviest edge; ties broken by smaller neighbour id for determinism
+            w = wts[cand]
+            best = cand[np.lexsort((nbrs[cand], -w))[0]]
+            u = nbrs[best]
+            match[v] = u
+            match[u] = v
+        else:
+            match[v] = v
+    return match

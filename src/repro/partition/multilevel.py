@@ -1,0 +1,115 @@
+"""Multilevel k-way graph partitioning (the MeTiS algorithm family).
+
+Coarsen with heavy-edge matching until the graph is small, bisect the
+coarsest graph with greedy graph growing, then uncoarsen while refining
+with FM at every level.  k-way partitions come from recursive bisection
+with proportional weight splits, followed by a final k-way greedy boundary
+refinement.  All randomness flows through an explicit seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .contract import contract
+from .fm_refine import fm_bisection_refine, kway_greedy_refine
+from .graph import Graph
+from .initial import greedy_graph_growing
+from .matching import heavy_edge_matching
+
+__all__ = ["multilevel_bisect", "multilevel_kway", "MultilevelPartitioner"]
+
+#: Stop coarsening below this many vertices.
+_COARSEN_TO = 64
+#: Stop coarsening when a level shrinks by less than this factor.
+_MIN_SHRINK = 0.95
+
+
+def multilevel_bisect(
+    graph: Graph,
+    target0: float,
+    seed: int = 0,
+    ub: float = 1.05,
+) -> np.ndarray:
+    """Bisect into sides {0, 1}; side 0 targets ``target0`` of the weight."""
+    rng = np.random.default_rng(seed)
+    levels: list[tuple[Graph, np.ndarray]] = []
+    g = graph
+    while g.n > _COARSEN_TO:
+        match = heavy_edge_matching(g, rng)
+        coarse, cmap = contract(g, match)
+        if coarse.n > _MIN_SHRINK * g.n:
+            break
+        levels.append((g, cmap))
+        g = coarse
+    side = greedy_graph_growing(g, target0, rng)
+    side = fm_bisection_refine(g, side, target0, ub=ub)
+    for fine, cmap in reversed(levels):
+        side = side[cmap]
+        side = fm_bisection_refine(fine, side, target0, ub=ub)
+    return side
+
+
+def multilevel_kway(
+    graph: Graph,
+    k: int,
+    seed: int = 0,
+    ub: float = 1.05,
+) -> np.ndarray:
+    """Partition into ``k`` parts via recursive bisection + k-way refine."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    part = np.zeros(graph.n, dtype=np.int64)
+    _recurse(graph, np.arange(graph.n, dtype=np.int64), k, 0, seed, ub, part)
+    if k > 1:
+        part = kway_greedy_refine(graph, part, k, ub=ub)
+    return part
+
+
+def _recurse(
+    graph: Graph,
+    vertices: np.ndarray,
+    k: int,
+    offset: int,
+    seed: int,
+    ub: float,
+    out: np.ndarray,
+) -> None:
+    if k == 1:
+        out[vertices] = offset
+        return
+    k0 = (k + 1) // 2
+    sub = _subgraph(graph, vertices)
+    side = multilevel_bisect(sub, target0=k0 / k, seed=seed, ub=ub)
+    left = vertices[side == 0]
+    right = vertices[side == 1]
+    _recurse(graph, left, k0, offset, seed * 2 + 1, ub, out)
+    _recurse(graph, right, k - k0, offset + k0, seed * 2 + 2, ub, out)
+
+
+def _subgraph(graph: Graph, vertices: np.ndarray) -> Graph:
+    """Induced subgraph with vertices renumbered 0..len(vertices)-1."""
+    n = graph.n
+    local = np.full(n, -1, dtype=np.int64)
+    local[vertices] = np.arange(vertices.shape[0])
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.ptr))
+    sel = (local[src] >= 0) & (local[graph.adj] >= 0)
+    half = sel & (src < graph.adj)
+    pairs = np.column_stack([local[src[half]], local[graph.adj[half]]])
+    return Graph.from_pairs(
+        pairs, vertices.shape[0], vwgt=graph.vwgt[vertices], ewgt=graph.ewgt[half]
+    )
+
+
+class MultilevelPartitioner:
+    """Facade used by the load balancer (paper: "any partitioning algorithm
+    could be used, as long as it is fast and delivers reasonably balanced
+    partitions based on the new weights")."""
+
+    def __init__(self, ub: float = 1.05, seed: int = 0):
+        self.ub = ub
+        self.seed = seed
+
+    def partition(self, graph: Graph, k: int) -> np.ndarray:
+        """Fresh k-way partition of ``graph``."""
+        return multilevel_kway(graph, k, seed=self.seed, ub=self.ub)

@@ -1,0 +1,80 @@
+"""Edge error indicator computed from the flow solution (paper §3).
+
+"At each mesh adaption step, tetrahedral elements are targeted for
+coarsening, refinement, or no change by computing an error indicator for
+each edge."  Following the solution-difference family of indicators used
+with 3D_TAG, the indicator of edge (i, j) is the jump of a monitored
+quantity across the edge, optionally scaled by edge length (so refinement
+stops once an edge is short enough to resolve the local gradient).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.geometry import edge_lengths
+from repro.mesh.tetmesh import TetMesh
+
+from .state import primitive
+
+__all__ = ["edge_error_indicator", "density_indicator", "mach_indicator"]
+
+
+def edge_error_indicator(
+    mesh: TetMesh,
+    vertex_quantity: np.ndarray,
+    length_scaled: bool = True,
+) -> np.ndarray:
+    """|Δq| across each edge, optionally multiplied by edge length."""
+    q = np.asarray(vertex_quantity, dtype=np.float64)
+    if q.shape != (mesh.nv,):
+        raise ValueError(f"expected one value per vertex ({mesh.nv}), got {q.shape}")
+    jump = np.abs(q[mesh.edges[:, 1]] - q[mesh.edges[:, 0]])
+    if length_scaled:
+        jump = jump * edge_lengths(mesh.coords, mesh.edges)
+    return jump
+
+
+def density_indicator(mesh: TetMesh, q: np.ndarray) -> np.ndarray:
+    """Density-jump indicator — the workhorse for shock-dominated flows."""
+    rho, _vel, _p = primitive(q)
+    return edge_error_indicator(mesh, rho)
+
+
+def feature_indicator(
+    mesh: TetMesh, vertex_values: np.ndarray, combine: str = "max"
+) -> np.ndarray:
+    """Feature-detection indicator: edge value from its endpoint values.
+
+    Jump indicators pick out edges *crossing* a feature; feature-detection
+    indicators (velocity or vorticity magnitude, standard in rotorcraft
+    adaption) mark every edge *inside* the feature region, so the targeted
+    set stays spatially compact — which is what gives the paper its tightly
+    clustered refinement regions (growth factors well below marking-fraction
+    blow-up).
+    """
+    v = np.asarray(vertex_values, dtype=np.float64)
+    if v.shape != (mesh.nv,):
+        raise ValueError(f"expected one value per vertex ({mesh.nv}), got {v.shape}")
+    a, b = v[mesh.edges[:, 0]], v[mesh.edges[:, 1]]
+    if combine == "max":
+        return np.maximum(a, b)
+    if combine == "mean":
+        return 0.5 * (a + b)
+    raise ValueError(f"combine must be 'max' or 'mean', got {combine!r}")
+
+
+def speed_indicator(mesh: TetMesh, q: np.ndarray) -> np.ndarray:
+    """Velocity-magnitude feature indicator (rotor wake detection)."""
+    _rho, vel, _p = primitive(q)
+    return feature_indicator(mesh, np.linalg.norm(vel, axis=1))
+
+
+def mach_indicator(mesh: TetMesh, q: np.ndarray) -> np.ndarray:
+    """Mach-number-jump indicator (what the rotor papers adapt on)."""
+    from .state import GAMMA
+
+    rho, vel, p = primitive(q)
+    c = np.sqrt(GAMMA * np.maximum(p, 1e-300) / rho)
+    mach = np.linalg.norm(vel, axis=1) / c
+    return edge_error_indicator(mesh, mach)

@@ -1,0 +1,62 @@
+"""Periodic boundary support (paper §2).
+
+"For a rotor in hover, the grid encompasses an appropriate fraction of the
+rotor azimuth.  Periodicity is enforced by forming control volumes that
+include information from opposite sides of the grid domain."
+
+We realise the same idea on matched vertex pairs: each periodic pair is a
+single degree of freedom whose control volume is the union of the two
+half-volumes; residuals accumulate across the pair and the combined update
+is applied to both copies.  :func:`box_periodic_pairs` matches opposite
+faces of a box domain (our stand-in for an azimuthal wedge).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.tetmesh import TetMesh
+
+__all__ = ["box_periodic_pairs", "validate_pairs"]
+
+
+def box_periodic_pairs(mesh: TetMesh, axis: int, tol: float = 1e-9) -> np.ndarray:
+    """Match boundary vertices on the two faces normal to ``axis``.
+
+    Returns an ``(npairs, 2)`` array of (low-face, high-face) vertex ids.
+    Raises if the faces do not match point-for-point (the mesh generator
+    guarantees they do for box meshes).
+    """
+    if axis not in (0, 1, 2):
+        raise ValueError(f"axis must be 0, 1, or 2, got {axis}")
+    lo = mesh.coords[:, axis].min()
+    hi = mesh.coords[:, axis].max()
+    on_lo = np.flatnonzero(np.abs(mesh.coords[:, axis] - lo) <= tol)
+    on_hi = np.flatnonzero(np.abs(mesh.coords[:, axis] - hi) <= tol)
+    if on_lo.shape[0] != on_hi.shape[0]:
+        raise ValueError(
+            f"periodic faces differ in vertex count: {on_lo.shape[0]} vs "
+            f"{on_hi.shape[0]}"
+        )
+    others = [a for a in range(3) if a != axis]
+    key_lo = on_lo[np.lexsort(tuple(mesh.coords[on_lo, a] for a in others))]
+    key_hi = on_hi[np.lexsort(tuple(mesh.coords[on_hi, a] for a in others))]
+    if not np.allclose(
+        mesh.coords[key_lo][:, others], mesh.coords[key_hi][:, others], atol=tol
+    ):
+        raise ValueError("periodic faces are not point-matched")
+    return np.column_stack([key_lo, key_hi])
+
+
+def validate_pairs(mesh: TetMesh, pairs: np.ndarray) -> np.ndarray:
+    """Sanity-check a periodic pairing: shape, range, no duplicates."""
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError(f"pairs must be (n, 2), got {pairs.shape}")
+    if pairs.size:
+        if pairs.min() < 0 or pairs.max() >= mesh.nv:
+            raise ValueError("pair vertex id out of range")
+        flat = pairs.ravel()
+        if np.unique(flat).shape[0] != flat.shape[0]:
+            raise ValueError("a vertex may appear in at most one periodic pair")
+    return pairs

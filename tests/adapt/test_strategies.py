@@ -1,0 +1,71 @@
+"""Geometric marking strategies."""
+
+import numpy as np
+import pytest
+
+from repro.adapt import AdaptiveMesh
+from repro.adapt.strategies import (
+    mark_cylinder,
+    mark_halfspace,
+    mark_shell,
+    mark_sphere,
+)
+from repro.mesh import box_mesh, edge_midpoints
+
+
+@pytest.fixture
+def mesh():
+    return box_mesh(4, 4, 4)
+
+
+def test_sphere_marks_inside_only(mesh):
+    mask = mark_sphere(mesh, (0.5, 0.5, 0.5), 0.3)
+    mid = edge_midpoints(mesh.coords, mesh.edges)
+    d = np.linalg.norm(mid - 0.5, axis=1)
+    assert np.array_equal(mask, d <= 0.3)
+    assert 0 < mask.sum() < mesh.nedges
+
+
+def test_shell_excludes_core(mesh):
+    mask = mark_shell(mesh, (0.5, 0.5, 0.5), radius=0.35, thickness=0.1)
+    mid = edge_midpoints(mesh.coords, mesh.edges)
+    d = np.linalg.norm(mid - 0.5, axis=1)
+    assert not mask[d < 0.25].any()
+    assert not mask[d > 0.45].any()
+
+
+def test_cylinder_contains_axis_edges(mesh):
+    mask = mark_cylinder(mesh, (0.0, 0.5, 0.5), (1.0, 0.5, 0.5), 0.2)
+    mid = edge_midpoints(mesh.coords, mesh.edges)
+    near_axis = np.linalg.norm(mid[:, 1:] - 0.5, axis=1) < 0.1
+    assert mask[near_axis].all()
+
+
+def test_halfspace_splits(mesh):
+    mask = mark_halfspace(mesh, (0.5, 0, 0), (1, 0, 0))
+    mid = edge_midpoints(mesh.coords, mesh.edges)
+    assert np.array_equal(mask, mid[:, 0] >= 0.5)
+
+
+def test_validation(mesh):
+    with pytest.raises(ValueError):
+        mark_sphere(mesh, (0, 0, 0), -1.0)
+    with pytest.raises(ValueError):
+        mark_shell(mesh, (0, 0, 0), 0.3, 0.0)
+    with pytest.raises(ValueError):
+        mark_cylinder(mesh, (0, 0, 0), (0, 0, 0), 0.1)
+    with pytest.raises(ValueError):
+        mark_halfspace(mesh, (0, 0, 0), (0, 0, 0))
+
+
+def test_geometric_refinement_end_to_end(mesh):
+    am = AdaptiveMesh(mesh)
+    marking = am.mark(edge_mask=mark_sphere(mesh, (0.25, 0.25, 0.25), 0.3))
+    res = am.refine(marking)
+    am.mesh.check()
+    # refinement concentrated in the marked corner
+    cent = am.mesh.coords[am.mesh.elems].mean(axis=1)
+    near = np.linalg.norm(cent - 0.25, axis=1) < 0.3
+    far = np.linalg.norm(cent - np.array([0.75, 0.75, 0.75]), axis=1) < 0.3
+    assert near.sum() > far.sum()
+    assert 1.0 < res.growth_factor < 8.0

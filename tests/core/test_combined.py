@@ -1,0 +1,70 @@
+"""Combined TotalV+MaxV objective (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.combined import combined_cost, combined_reassign
+from repro.core.metrics import remap_stats
+from repro.core.reassign import optimal_bmcm, optimal_mwbg
+
+
+def random_S(n, seed, hi=50):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, hi, size=(n, n)).astype(np.int64)
+
+
+def test_lambda_zero_matches_totalv_optimum():
+    for seed in range(5):
+        S = random_S(5, seed)
+        m = combined_reassign(S, lam=0.0)
+        opt = optimal_mwbg(S)
+        assert remap_stats(S, m).c_total == remap_stats(S, opt).c_total
+
+
+def test_lambda_one_matches_maxv_optimum():
+    for seed in range(5):
+        S = random_S(5, seed)
+        m = combined_reassign(S, lam=1.0)
+        opt = optimal_bmcm(S)
+        assert remap_stats(S, m).c_max == remap_stats(S, opt).c_max
+
+
+@pytest.mark.parametrize("lam", [0.25, 0.5, 0.75])
+def test_combined_no_worse_than_endpoints(lam):
+    for seed in range(6):
+        S = random_S(6, seed)
+        m = combined_reassign(S, lam=lam)
+        j = combined_cost(S, m, lam)
+        for endpoint in (optimal_mwbg(S), optimal_bmcm(S)):
+            assert j <= combined_cost(S, endpoint, lam) + 1e-9
+
+
+def test_combined_beats_brute_sometimes_matches():
+    """On small instances, the local search finds the global optimum of J
+    most of the time; verify against enumeration."""
+    from itertools import permutations
+
+    hits = 0
+    for seed in range(8):
+        S = random_S(4, seed)
+        m = combined_reassign(S, lam=0.5)
+        j = combined_cost(S, m, 0.5)
+        best = min(
+            combined_cost(S, np.array(p), 0.5)
+            for p in permutations(range(4))
+        )
+        assert j >= best - 1e-9
+        if abs(j - best) < 1e-9:
+            hits += 1
+    assert hits >= 6  # local search is near-exact at this size
+
+
+def test_lambda_validation():
+    with pytest.raises(ValueError):
+        combined_reassign(random_S(3, 0), lam=1.5)
+
+
+def test_valid_permutation():
+    S = random_S(7, 3)
+    m = combined_reassign(S, lam=0.4)
+    assert sorted(m.tolist()) == list(range(7))

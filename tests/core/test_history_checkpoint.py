@@ -1,0 +1,106 @@
+"""Adaption history accounting and checkpoint/restart."""
+
+import numpy as np
+import pytest
+
+from repro.core import CostModel, LoadBalancedAdaptiveSolver
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.core.history import AdaptionHistory
+from repro.mesh import box_mesh, edge_midpoints
+from repro.parallel import MachineModel
+
+CHEAP = MachineModel(t_setup=1e-5, t_word=1e-7, t_work=1e-6)
+
+
+def corner_error(mesh):
+    mid = edge_midpoints(mesh.coords, mesh.edges)
+    return 1.0 / (0.05 + np.linalg.norm(mid, axis=1))
+
+
+def run_steps(solver, n=2):
+    hist = AdaptionHistory()
+    for _ in range(n):
+        err = corner_error(solver.adaptive.mesh)
+        hist.record(solver.adapt_step(edge_error=err, refine_frac=0.12))
+    return hist
+
+
+class TestHistory:
+    def test_accumulates(self):
+        s = LoadBalancedAdaptiveSolver(
+            box_mesh(3, 3, 3), 4, machine=CHEAP,
+            cost_model=CostModel(machine=CHEAP),
+        )
+        hist = run_steps(s, 2)
+        assert len(hist) == 2
+        assert hist.total_adaption_time > 0
+        assert hist.accepted_steps + hist.rejected_steps <= 2
+        if hist.accepted_steps:
+            assert hist.total_elements_moved > 0
+            assert hist.total_remap_time > 0
+        traj = hist.imbalance_trajectory()
+        assert len(traj) == 2
+        assert all(b >= 1.0 and a >= 1.0 for b, a in traj)
+
+    def test_rendering(self):
+        s = LoadBalancedAdaptiveSolver(
+            box_mesh(2, 2, 2), 2, machine=CHEAP,
+            cost_model=CostModel(machine=CHEAP),
+        )
+        hist = run_steps(s, 1)
+        table = hist.anatomy_table()
+        assert "mark" in table and "remap" in table
+        assert len(table.splitlines()) == 2
+        assert "steps" in hist.summary()
+
+    def test_empty_summary(self):
+        assert "no adaption steps" in AdaptionHistory().summary()
+
+
+class TestCheckpoint:
+    def test_roundtrip_resumes(self, tmp_path):
+        s = LoadBalancedAdaptiveSolver(
+            box_mesh(3, 3, 3), 4, machine=CHEAP,
+            cost_model=CostModel(machine=CHEAP), seed=1,
+        )
+        run_steps(s, 1)
+        ne_before = s.adaptive.mesh.ne
+        part_before = s.part.copy()
+
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, s)
+        s2 = load_checkpoint(
+            path, machine=CHEAP, cost_model=CostModel(machine=CHEAP)
+        )
+        assert s2.adaptive.mesh.ne == ne_before
+        assert s2.nproc == 4
+        # ownership restored exactly (per current element)
+        assert np.array_equal(s2.elem_owner(), s.elem_owner())
+        del part_before
+
+        # the restored solver can keep adapting
+        rep = s2.adapt_step(
+            edge_error=corner_error(s2.adaptive.mesh), refine_frac=0.1
+        )
+        assert s2.adaptive.mesh.ne > ne_before
+        assert rep.growth_factor > 1.0
+
+    def test_solution_preserved(self, tmp_path):
+        m = box_mesh(2, 2, 2)
+        sol = np.arange(m.nv * 5, dtype=float).reshape(m.nv, 5)
+        s = LoadBalancedAdaptiveSolver(m, 2, solution=sol, machine=CHEAP)
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, s)
+        s2 = load_checkpoint(path, machine=CHEAP)
+        assert np.array_equal(s2.adaptive.solution, sol)
+
+    def test_version_check(self, tmp_path):
+        m = box_mesh(1, 1, 1)
+        path = str(tmp_path / "bad.npz")
+        np.savez(path, format_version=np.int64(9), coords=m.coords,
+                 elems=m.elems, nproc=np.int64(2), F=np.int64(1),
+                 elem_owner=np.zeros(m.ne, np.int64),
+                 wcomp=np.ones(m.ne, np.int64), wremap=np.ones(m.ne, np.int64),
+                 root_of_elem=np.arange(m.ne))
+        with pytest.raises(ValueError, match="version"):
+            load_checkpoint(path)

@@ -1,0 +1,56 @@
+"""Unit tests for connectivity derivation."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import single_tet, two_tets
+from repro.mesh.build import build_edges, build_faces, csr_from_pairs, invert_to_csr
+
+
+def test_single_tet_counts():
+    m = single_tet()
+    assert m.nv == 4
+    assert m.ne == 1
+    assert m.nedges == 6
+    assert m.nbnd == 4
+    assert m.dual_pairs.shape == (0, 2)
+
+
+def test_two_tets_counts():
+    m = two_tets()
+    assert m.ne == 2
+    assert m.nedges == 9  # 6 + 6 - 3 shared on the common face
+    assert m.nbnd == 6  # 8 faces total, 2 glued into 1 interior face
+    assert m.dual_pairs.tolist() == [[0, 1]]
+
+
+def test_build_edges_deterministic_order():
+    elems = np.array([[3, 1, 0, 2]])
+    edges, elem2edge = build_edges(elems, 4)
+    # lexicographic over (lo, hi)
+    assert edges.tolist() == [[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3]]
+    # local edge order of element (3,1,0,2): pairs (3,1),(3,0),(3,2),(1,0),(1,2),(0,2)
+    assert elem2edge.tolist() == [[4, 2, 5, 0, 3, 1]]
+
+
+def test_build_faces_nonmanifold_rejected():
+    # three tets all sharing the face (0,1,2)
+    elems = np.array([[0, 1, 2, 3], [0, 1, 2, 4], [0, 1, 2, 5]])
+    with pytest.raises(ValueError, match="non-manifold"):
+        build_faces(elems, 6)
+
+
+def test_csr_from_pairs_groups_and_orders():
+    ptr, dat = csr_from_pairs(
+        rows=np.array([1, 0, 1, 2, 0]), vals=np.array([9, 5, 3, 7, 1]), nrows=3
+    )
+    assert ptr.tolist() == [0, 2, 4, 5]
+    assert dat.tolist() == [1, 5, 3, 9, 7]
+
+
+def test_invert_to_csr_roundtrip():
+    mapping = np.array([[0, 2], [2, 1], [0, 1]])
+    ptr, dat = invert_to_csr(mapping, 3)
+    # value v -> rows where it appears
+    groups = {v: sorted(dat[ptr[v] : ptr[v + 1]].tolist()) for v in range(3)}
+    assert groups == {0: [0, 2], 1: [1, 2], 2: [0, 1]}

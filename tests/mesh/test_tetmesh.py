@@ -1,0 +1,78 @@
+"""TetMesh construction, invariants, and generators."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import TetMesh, box_mesh, rotor_domain_mesh, single_tet, tet_volumes
+
+
+def test_box_mesh_counts():
+    m = box_mesh(2, 3, 4)
+    assert m.nv == 3 * 4 * 5
+    assert m.ne == 6 * 2 * 3 * 4
+    m.check()
+
+
+def test_box_mesh_fills_volume():
+    m = box_mesh(3, 2, 2, bounds=((0, 2), (0, 1), (0, 1)))
+    assert m.total_volume() == pytest.approx(2.0)
+
+
+def test_box_mesh_conforming():
+    """Every interior face is shared by exactly 2 elements — already enforced
+    by build_faces; additionally Euler-consistency for a 3-ball:
+    V - E + F - T = 1 for a simply-connected tetrahedralised ball."""
+    m = box_mesh(2, 2, 2)
+    nfaces = (4 * m.ne + m.nbnd) // 2
+    assert m.nv - m.nedges + nfaces - m.ne == 1
+
+
+def test_orientation_fixed():
+    coords = np.array(
+        [[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]
+    )
+    elems = np.array([[0, 2, 1, 3]])  # negatively oriented
+    m = TetMesh.from_elems(coords, elems)
+    assert tet_volumes(m.coords, m.elems)[0] > 0
+
+
+def test_rejects_bad_shapes():
+    with pytest.raises(ValueError, match="coords"):
+        TetMesh.from_elems(np.zeros((4, 2)), np.array([[0, 1, 2, 3]]))
+    with pytest.raises(ValueError, match="elems"):
+        TetMesh.from_elems(np.zeros((4, 3)), np.array([[0, 1, 2]]))
+    with pytest.raises(ValueError, match="out of range"):
+        TetMesh.from_elems(np.zeros((4, 3)), np.array([[0, 1, 2, 7]]))
+
+
+def test_edge_and_vertex_adjacency():
+    m = single_tet()
+    for e in range(m.nedges):
+        assert m.edge_elems(e).tolist() == [0]
+    for v in range(4):
+        assert len(m.vertex_edges(v)) == 3  # each vertex touches 3 edges
+
+
+def test_sizes_dict_matches_table1_columns():
+    m = single_tet()
+    assert m.sizes() == {"vertices": 4, "elements": 1, "edges": 6, "bdy_faces": 4}
+
+
+def test_rotor_domain_mesh_blade_inside():
+    mesh, blade = rotor_domain_mesh(resolution=3)
+    mesh.check()
+    lo = mesh.coords.min(axis=0)
+    hi = mesh.coords.max(axis=0)
+    for pt in (blade.start, blade.end):
+        assert np.all(np.asarray(pt) >= lo) and np.all(np.asarray(pt) <= hi)
+    # some vertices must be near the blade (feature region non-empty)
+    d = blade.distance(mesh.coords)
+    assert (d < blade.radius * 3).any()
+
+
+def test_blade_distance_endpoints():
+    from repro.mesh import BladeSpec
+
+    blade = BladeSpec(start=(0, 0, 0), end=(1, 0, 0), radius=0.1)
+    pts = np.array([[0.5, 0.0, 0.0], [0.5, 2.0, 0.0], [-1.0, 0.0, 0.0]])
+    assert blade.distance(pts) == pytest.approx([0.0, 2.0, 1.0])

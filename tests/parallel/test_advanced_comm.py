@@ -1,0 +1,210 @@
+"""Nonblocking operations, scans, reduce_scatter, and sub-communicators."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.parallel import ANY, IDEAL, VirtualMachine
+
+SIZES = [1, 2, 3, 4, 7, 8]
+
+
+class TestNonblocking:
+    def test_isend_completes_eagerly(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = yield from comm.isend("x", dest=1, tag=1)
+                assert req.completed
+                _ = yield from req.wait()
+                return "sent"
+            return (yield from comm.recv(source=0, tag=1))
+
+        res = VirtualMachine(2, IDEAL).run(prog)
+        assert res.returns == ["sent", "x"]
+
+    def test_irecv_wait(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(42, dest=1, tag=3)
+                return None
+            req = yield from comm.irecv(source=0, tag=3)
+            assert not req.completed
+            val = yield from req.wait()
+            assert req.completed
+            return val
+
+        res = VirtualMachine(2, IDEAL).run(prog)
+        assert res.returns[1] == 42
+
+    def test_irecv_test_polling(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.compute(100)  # delay the send
+                yield from comm.send("late", dest=1, tag=0)
+                return None
+            req = yield from comm.irecv(source=0, tag=0)
+            done, val = yield from req.test()
+            polls = 1
+            while not done:
+                yield from comm.compute(10)  # overlap work with waiting
+                done, val = yield from req.test()
+                polls += 1
+            return val, polls
+
+        res = VirtualMachine(2, IDEAL).run(prog)
+        val, polls = res.returns[1]
+        assert val == "late"
+        assert polls > 1  # the first test must have failed
+
+    def test_test_after_completion_is_idempotent(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, dest=1, tag=0)
+                return None
+            req = yield from comm.irecv(source=0, tag=0)
+            v1 = yield from req.wait()
+            done, v2 = yield from req.test()
+            return v1, done, v2
+
+        res = VirtualMachine(2, IDEAL).run(prog)
+        assert res.returns[1] == (1, True, 1)
+
+
+class TestSendrecv:
+    @pytest.mark.parametrize("p", [2, 3, 5])
+    def test_ring_shift(self, p):
+        def prog(comm):
+            dest = (comm.rank + 1) % comm.size
+            src = (comm.rank - 1) % comm.size
+            got = yield from comm.sendrecv(comm.rank, dest=dest, source=src)
+            return got
+
+        res = VirtualMachine(p, IDEAL).run(prog)
+        assert res.returns == [(r - 1) % p for r in range(p)]
+
+
+class TestScan:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_inclusive_scan_sum(self, p):
+        def prog(comm):
+            return (yield from comm.scan(comm.rank + 1))
+
+        res = VirtualMachine(p, IDEAL).run(prog)
+        assert res.returns == [sum(range(1, r + 2)) for r in range(p)]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_exclusive_scan_sum(self, p):
+        def prog(comm):
+            return (yield from comm.exscan(comm.rank + 1))
+
+        res = VirtualMachine(p, IDEAL).run(prog)
+        assert res.returns[0] is None
+        assert res.returns[1:] == [sum(range(1, r + 1)) for r in range(1, p)]
+
+    def test_scan_non_commutative_order(self):
+        def prog(comm):
+            return (yield from comm.scan([comm.rank], op=operator.add))
+
+        res = VirtualMachine(5, IDEAL).run(prog)
+        assert res.returns[4] == [0, 1, 2, 3, 4]  # strict rank order
+
+
+class TestReduceScatter:
+    @pytest.mark.parametrize("p", [2, 4, 5])
+    def test_blocks(self, p):
+        def prog(comm):
+            objs = [comm.rank * 100 + d for d in range(comm.size)]
+            return (yield from comm.reduce_scatter(objs))
+
+        res = VirtualMachine(p, IDEAL).run(prog)
+        for r in range(p):
+            assert res.returns[r] == sum(s * 100 + r for s in range(p))
+
+    def test_length_check(self):
+        def prog(comm):
+            return (yield from comm.reduce_scatter([0]))
+
+        with pytest.raises(ValueError, match="reduce_scatter"):
+            VirtualMachine(3, IDEAL).run(prog)
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        def prog(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            total = yield from sub.allreduce(comm.rank)
+            return sub.rank, sub.size, total
+
+        res = VirtualMachine(6, IDEAL).run(prog)
+        evens = [r for r in range(6) if r % 2 == 0]
+        odds = [r for r in range(6) if r % 2 == 1]
+        for r in range(6):
+            lrank, lsize, total = res.returns[r]
+            group = evens if r % 2 == 0 else odds
+            assert lsize == 3
+            assert lrank == group.index(r)
+            assert total == sum(group)
+
+    def test_split_key_reorders(self):
+        def prog(comm):
+            sub = yield from comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        res = VirtualMachine(4, IDEAL).run(prog)
+        # key=-rank reverses the order
+        assert res.returns == [3, 2, 1, 0]
+
+    def test_subcomm_isolated_from_parent_traffic(self):
+        def prog(comm):
+            sub = yield from comm.split(color=comm.rank // 2)
+            # same user tag used on parent and sub simultaneously
+            if sub.rank == 0:
+                yield from sub.send("sub", dest=1, tag=5)
+            peer = comm.rank ^ 1
+            yield from comm.send(f"par{comm.rank}", dest=peer, tag=5)
+            got_par = yield from comm.recv(source=peer, tag=5)
+            got_sub = None
+            if sub.rank == 1:
+                got_sub = yield from sub.recv(source=0, tag=5)
+            return got_par, got_sub
+
+        res = VirtualMachine(4, IDEAL).run(prog)
+        for r in range(4):
+            got_par, got_sub = res.returns[r]
+            assert got_par == f"par{r ^ 1}"
+            if r % 2 == 1:
+                assert got_sub == "sub"
+
+    def test_two_splits_do_not_collide(self):
+        def prog(comm):
+            a = yield from comm.split(color=0)
+            b = yield from comm.split(color=comm.rank % 2)
+            ra = yield from a.allreduce(1)
+            rb = yield from b.allreduce(1)
+            return ra, rb
+
+        res = VirtualMachine(4, IDEAL).run(prog)
+        assert all(r == (4, 2) for r in res.returns)
+
+    def test_subcomm_rejects_wildcard_tag(self):
+        def prog(comm):
+            sub = yield from comm.split(color=0)
+            _ = yield from sub.recv(source=ANY, tag=ANY)
+
+        with pytest.raises(ValueError, match="ANY"):
+            VirtualMachine(2, IDEAL).run(prog)
+
+    def test_subcomm_collectives(self):
+        def prog(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            data = yield from sub.allgather(comm.rank)
+            s = yield from sub.scan(1)
+            return data, s
+
+        res = VirtualMachine(6, IDEAL).run(prog)
+        for r in range(6):
+            data, s = res.returns[r]
+            group = [x for x in range(6) if x % 2 == r % 2]
+            assert data == group
+            assert s == group.index(r) + 1

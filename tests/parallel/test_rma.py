@@ -1,0 +1,123 @@
+"""One-sided communication windows on the virtual machine."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import IDEAL, SP2_1997, VirtualMachine
+from repro.parallel.rma import RmaWindow
+
+
+def test_put_then_get():
+    """The mpi4py tutorial's canonical RMA example: rank 0 fills the
+    window, everyone reads 42s back."""
+
+    def prog(comm):
+        win = yield from RmaWindow.allocate(comm, nwords=10)
+        if comm.rank == 0:
+            yield from win.lock(target=0)
+            yield from win.put(np.full(10, 42.0), target=0)
+            yield from win.unlock(target=0)
+        yield from win.fence()
+        yield from win.lock(target=0)
+        buf = yield from win.get(target=0, count=10)
+        yield from win.unlock(target=0)
+        return buf
+
+    res = VirtualMachine(4, IDEAL).run(prog)
+    for buf in res.returns:
+        assert np.all(buf == 42.0)
+
+
+def test_accumulate_sums_all_ranks():
+    def prog(comm):
+        win = yield from RmaWindow.allocate(comm, nwords=4)
+        yield from win.lock(target=0)
+        yield from win.accumulate(np.full(4, float(comm.rank + 1)), target=0)
+        yield from win.unlock(target=0)
+        yield from win.fence()
+        if comm.rank == 0:
+            return win.local.copy()
+        return None
+
+    res = VirtualMachine(5, SP2_1997).run(prog)
+    assert np.all(res.returns[0] == sum(range(1, 6)))
+
+
+def test_lock_serialises_access():
+    """Concurrent read-modify-write under locks must not lose updates."""
+
+    def prog(comm):
+        win = yield from RmaWindow.allocate(comm, nwords=1)
+        for _ in range(3):
+            yield from win.lock(target=0)
+            cur = yield from win.get(target=0, count=1)
+            yield from win.put(cur + 1.0, target=0)
+            yield from win.unlock(target=0)
+        yield from win.fence()
+        if comm.rank == 0:
+            return float(win.local[0])
+        return None
+
+    res = VirtualMachine(4, SP2_1997).run(prog)
+    assert res.returns[0] == 12.0  # 4 ranks x 3 increments
+
+
+def test_offsets_and_partial_access():
+    def prog(comm):
+        win = yield from RmaWindow.allocate(comm, nwords=8)
+        yield from win.lock(target=0)
+        yield from win.put(np.array([float(comm.rank)]), target=0,
+                           offset=comm.rank)
+        yield from win.unlock(target=0)
+        yield from win.fence()
+        yield from win.lock(target=0)
+        buf = yield from win.get(target=0, count=comm.size)
+        yield from win.unlock(target=0)
+        return buf
+
+    res = VirtualMachine(4, IDEAL).run(prog)
+    for buf in res.returns:
+        assert np.array_equal(buf, [0.0, 1.0, 2.0, 3.0])
+
+
+def test_access_requires_lock():
+    def prog(comm):
+        win = yield from RmaWindow.allocate(comm, nwords=2)
+        yield from win.put(np.zeros(2), target=0)
+
+    with pytest.raises(RuntimeError, match="lock"):
+        VirtualMachine(2, IDEAL).run(prog)
+
+
+def test_range_and_target_validation():
+    def prog(comm):
+        win = yield from RmaWindow.allocate(comm, nwords=2)
+        yield from win.lock(target=0)
+        yield from win.put(np.zeros(5), target=0)
+
+    with pytest.raises(ValueError, match="outside"):
+        VirtualMachine(2, IDEAL).run(prog)
+
+    def prog2(comm):
+        win = yield from RmaWindow.allocate(comm, nwords=2)
+        yield from win.lock(target=7)
+
+    with pytest.raises(ValueError, match="target"):
+        VirtualMachine(2, IDEAL).run(prog2)
+
+
+def test_mismatched_sizes_rejected():
+    def prog(comm):
+        _ = yield from RmaWindow.allocate(comm, nwords=comm.rank + 1)
+
+    with pytest.raises(ValueError, match="differ"):
+        VirtualMachine(2, IDEAL).run(prog)
+
+
+def test_unlock_not_held():
+    def prog(comm):
+        win = yield from RmaWindow.allocate(comm, nwords=1)
+        yield from win.unlock(target=0)
+
+    with pytest.raises(RuntimeError, match="hold"):
+        VirtualMachine(2, IDEAL).run(prog)

@@ -1,0 +1,153 @@
+"""Unit tests for the event-driven virtual machine runtime."""
+
+import pytest
+
+from repro.parallel import (
+    ANY,
+    IDEAL,
+    DeadlockError,
+    MachineModel,
+    VirtualMachine,
+    per_rank,
+)
+
+
+def test_single_rank_returns_value():
+    def prog(comm):
+        yield from comm.compute(10)
+        return comm.rank + 100
+
+    res = VirtualMachine(1).run(prog)
+    assert res.returns == [100]
+    assert res.makespan == pytest.approx(10 * VirtualMachine(1).machine.t_work)
+
+
+def test_requires_generator_program():
+    def not_a_gen(comm):
+        return 1
+
+    with pytest.raises(TypeError, match="generator"):
+        VirtualMachine(2).run(not_a_gen)
+
+
+def test_send_recv_roundtrip():
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.send({"x": 42}, dest=1, tag=7)
+            return None
+        data = yield from comm.recv(source=0, tag=7)
+        return data["x"]
+
+    res = VirtualMachine(2).run(prog)
+    assert res.returns == [None, 42]
+    assert res.total_messages == 1
+
+
+def test_recv_wildcards():
+    def prog(comm):
+        if comm.rank == 0:
+            got = []
+            for _ in range(2):
+                payload, src, tag = yield from comm.recv_status(ANY, ANY)
+                got.append((payload, src, tag))
+            return sorted(got)
+        yield from comm.send(comm.rank * 10, dest=0, tag=comm.rank)
+        return None
+
+    res = VirtualMachine(3).run(prog)
+    assert res.returns[0] == [(10, 1, 1), (20, 2, 2)]
+
+
+def test_fifo_order_per_source_and_tag():
+    def prog(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                yield from comm.send(i, dest=1, tag=3)
+            return None
+        out = []
+        for _ in range(5):
+            out.append((yield from comm.recv(source=0, tag=3)))
+        return out
+
+    res = VirtualMachine(2).run(prog)
+    assert res.returns[1] == [0, 1, 2, 3, 4]
+
+
+def test_deadlock_detection():
+    def prog(comm):
+        _ = yield from comm.recv(source=(comm.rank + 1) % comm.size, tag=0)
+
+    with pytest.raises(DeadlockError):
+        VirtualMachine(2).run(prog)
+
+
+def test_send_to_invalid_rank():
+    def prog(comm):
+        yield from comm.send(1, dest=99, tag=0)
+
+    with pytest.raises(ValueError, match="invalid rank"):
+        VirtualMachine(2).run(prog)
+
+
+def test_user_tag_range_enforced():
+    def prog(comm):
+        yield from comm.send(1, dest=0, tag=1 << 21)
+
+    with pytest.raises(ValueError, match="user tags"):
+        VirtualMachine(1).run(prog)
+
+
+def test_per_rank_arguments():
+    def prog(comm, x, k=0):
+        yield from comm.compute(1)
+        return x + k
+
+    res = VirtualMachine(3).run(prog, per_rank([1, 2, 3]), k=per_rank([10, 20, 30]))
+    assert res.returns == [11, 22, 33]
+
+
+def test_clock_monotone_and_message_cost():
+    m = MachineModel(t_setup=1.0, t_word=0.1, t_work=0.0)
+
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.send(0.0, dest=1, tag=0, nwords=10)
+        else:
+            _ = yield from comm.recv(source=0, tag=0)
+
+    res = VirtualMachine(2, m).run(prog)
+    # sender: t_setup + 10*t_word = 2.0; receiver resumes at arrival >= 2.0
+    assert res.clocks[0] == pytest.approx(2.0)
+    assert res.clocks[1] >= 2.0
+    assert res.total_words == 10
+
+
+def test_receiver_waits_for_arrival():
+    m = MachineModel(t_setup=1.0, t_word=0.0, t_work=1.0)
+
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.compute(5)  # 5 seconds of work before sending
+            yield from comm.send("late", dest=1, tag=0, nwords=0)
+        else:
+            got = yield from comm.recv(source=0, tag=0)
+            return got
+
+    res = VirtualMachine(2, m).run(prog)
+    # message leaves at t=6; receiver cannot have it earlier
+    assert res.clocks[1] >= 6.0
+    assert res.returns[1] == "late"
+
+
+def test_determinism_across_runs():
+    def prog(comm):
+        acc = comm.rank
+        for k in range(3):
+            yield from comm.send(acc, dest=(comm.rank + 1) % comm.size, tag=k)
+            acc += yield from comm.recv(source=(comm.rank - 1) % comm.size, tag=k)
+        return acc
+
+    r1 = VirtualMachine(5, IDEAL).run(prog)
+    r2 = VirtualMachine(5, IDEAL).run(prog)
+    assert r1.returns == r2.returns
+    assert r1.clocks == r2.clocks

@@ -1,0 +1,45 @@
+"""Event tracing of virtual machine runs."""
+
+from repro.parallel import IDEAL, TraceEvent, VirtualMachine
+
+
+def prog(comm):
+    yield from comm.compute(5)
+    if comm.rank == 0:
+        yield from comm.send("hi", dest=1, tag=4)
+    else:
+        _ = yield from comm.recv(source=0, tag=4)
+
+
+def test_trace_disabled_by_default():
+    res = VirtualMachine(2, IDEAL).run(prog)
+    assert res.trace is None
+
+
+def test_trace_records_ordered_events():
+    res = VirtualMachine(2, IDEAL, trace=True).run(prog)
+    assert res.trace is not None
+    kinds = [e.kind for e in res.trace]
+    assert kinds.count("work") == 2
+    assert kinds.count("send") == 1
+    assert kinds.count("recv") == 1
+    send = next(e for e in res.trace if e.kind == "send")
+    recv = next(e for e in res.trace if e.kind == "recv")
+    assert send.rank == 0 and send.detail[0] == 1 and send.detail[1] == 4
+    assert recv.rank == 1 and recv.detail[0] == 0
+    assert recv.time >= send.time
+    assert all(isinstance(e, TraceEvent) for e in res.trace)
+
+
+def test_trace_times_monotone_per_rank():
+    def chatty(comm):
+        for k in range(3):
+            yield from comm.compute(1)
+            peer = comm.rank ^ 1
+            yield from comm.send(k, dest=peer, tag=k)
+            _ = yield from comm.recv(source=peer, tag=k)
+
+    res = VirtualMachine(2, IDEAL, trace=True).run(chatty)
+    for r in (0, 1):
+        times = [e.time for e in res.trace if e.rank == r]
+        assert times == sorted(times)

@@ -1,0 +1,80 @@
+"""Heavy-edge matching and graph contraction."""
+
+import numpy as np
+
+from repro.partition import Graph, contract, heavy_edge_matching
+
+
+def grid_graph(nx, ny):
+    def vid(i, j):
+        return i * ny + j
+
+    pairs = []
+    for i in range(nx):
+        for j in range(ny):
+            if i + 1 < nx:
+                pairs.append((vid(i, j), vid(i + 1, j)))
+            if j + 1 < ny:
+                pairs.append((vid(i, j), vid(i, j + 1)))
+    return Graph.from_pairs(np.array(pairs), nx * ny)
+
+
+def test_matching_is_valid():
+    g = grid_graph(5, 5)
+    match = heavy_edge_matching(g, np.random.default_rng(0))
+    for v in range(g.n):
+        u = match[v]
+        assert match[u] == v  # symmetric
+        if u != v:
+            assert u in g.neighbors(v)  # matched along an edge
+
+
+class _FixedOrder:
+    """rng stub visiting vertices in index order (for deterministic tests)."""
+
+    def permutation(self, n):
+        return np.arange(n)
+
+
+def test_matching_prefers_heavy_edges():
+    # triangle with one heavy edge: 0-1 weight 10, others weight 1.
+    # With vertex 0 visited first, HEM must take the weight-10 edge.
+    g = Graph.from_pairs(
+        np.array([[0, 1], [1, 2], [0, 2]]), 3, ewgt=np.array([10, 1, 1])
+    )
+    match = heavy_edge_matching(g, _FixedOrder())
+    assert match[0] == 1 and match[1] == 0
+    assert match[2] == 2
+
+
+def test_matching_respects_allowed_labels():
+    g = grid_graph(4, 4)
+    labels = np.arange(16) % 2
+    match = heavy_edge_matching(g, np.random.default_rng(1), allowed=labels)
+    for v in range(16):
+        assert labels[match[v]] == labels[v]
+
+
+def test_contract_conserves_weight_and_shrinks():
+    g = grid_graph(6, 6)
+    match = heavy_edge_matching(g, np.random.default_rng(2))
+    coarse, cmap = contract(g, match)
+    assert coarse.total_vwgt() == g.total_vwgt()
+    assert coarse.n < g.n
+    assert cmap.shape == (g.n,)
+    assert cmap.max() == coarse.n - 1
+    # matched pairs land on the same coarse vertex
+    for v in range(g.n):
+        assert cmap[v] == cmap[match[v]]
+
+
+def test_contract_merges_edge_weights():
+    # square 0-1-2-3: match (0,1) and (2,3); two cut edges merge into one
+    # coarse edge of weight 2
+    g = Graph.from_pairs(np.array([[0, 1], [1, 2], [2, 3], [3, 0]]), 4)
+    match = np.array([1, 0, 3, 2])
+    coarse, cmap = contract(g, match)
+    assert coarse.n == 2
+    assert coarse.nedges == 1
+    assert coarse.edge_weights(0).tolist() == [2]
+    assert coarse.vwgt.tolist() == [2, 2]

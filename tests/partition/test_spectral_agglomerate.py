@@ -1,0 +1,115 @@
+"""Spectral/inertial baselines and superelement agglomeration."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import box_mesh
+from repro.partition import (
+    Graph,
+    agglomerate,
+    edgecut,
+    expand_partition,
+    imbalance,
+    inertial_bisect,
+    loads,
+    multilevel_kway,
+    spectral_bisect,
+)
+
+
+def grid_graph(nx, ny):
+    pairs = []
+    for i in range(nx):
+        for j in range(ny):
+            v = i * ny + j
+            if i + 1 < nx:
+                pairs.append((v, (i + 1) * ny + j))
+            if j + 1 < ny:
+                pairs.append((v, v + 1))
+    return Graph.from_pairs(np.array(pairs), nx * ny)
+
+
+class TestSpectral:
+    def test_path_graph_splits_in_middle(self):
+        g = Graph.from_pairs(
+            np.column_stack([np.arange(9), np.arange(1, 10)]), 10
+        )
+        side = spectral_bisect(g)
+        assert edgecut(g, side) == 1  # the Fiedler split of a path
+        assert loads(g, side, 2).tolist() == [5, 5]
+
+    def test_elongated_grid_cut_near_optimal(self):
+        g = grid_graph(20, 4)  # optimal bisection cut = 4
+        side = spectral_bisect(g)
+        assert edgecut(g, side) <= 8
+        ld = loads(g, side, 2)
+        assert abs(ld[0] - ld[1]) <= 4
+
+    def test_large_graph_uses_sparse_path(self):
+        g = grid_graph(12, 12)  # 144 > 64: eigsh branch
+        side = spectral_bisect(g, seed=3)
+        assert set(side.tolist()) == {0, 1}
+        assert edgecut(g, side) <= 30
+
+    def test_trivial_sizes(self):
+        assert spectral_bisect(Graph.from_pairs(np.empty((0, 2)), 1)).tolist() == [0]
+
+
+class TestInertial:
+    def test_splits_along_long_axis(self):
+        pts = np.column_stack(
+            [np.linspace(0, 10, 50), np.zeros(50), np.zeros(50)]
+        )
+        side = inertial_bisect(pts, np.ones(50))
+        # all of side 0 left of all of side 1 along x
+        assert pts[side == 0, 0].max() < pts[side == 1, 0].min()
+
+    def test_weighted_median(self):
+        pts = np.column_stack([np.arange(4.0), np.zeros(4), np.zeros(4)])
+        w = np.array([10.0, 1, 1, 1])
+        side = inertial_bisect(pts, w)
+        # the heavy first point balances the other three
+        assert side.tolist() == [0, 1, 1, 1]
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            inertial_bisect(np.zeros((3, 3)), np.ones(2))
+
+
+class TestAgglomerate:
+    def test_shrinks_to_target(self):
+        m = box_mesh(4, 4, 4)
+        g = Graph.from_pairs(m.dual_pairs, m.ne)
+        sg, emap = agglomerate(g, target_n=64, seed=0)
+        assert sg.n <= 64 * 2  # halving per round; lands near the target
+        assert sg.n < g.n
+        assert emap.shape == (g.n,)
+        assert emap.max() == sg.n - 1
+        assert sg.total_vwgt() == g.total_vwgt()
+
+    def test_partition_via_superelements(self):
+        """§4.1's remedy: partition the agglomerated graph, expand, and
+        still get a balanced element partition."""
+        m = box_mesh(4, 4, 4)
+        g = Graph.from_pairs(m.dual_pairs, m.ne)
+        sg, emap = agglomerate(g, target_n=80, seed=1)
+        superpart = multilevel_kway(sg, 4, seed=0)
+        part = expand_partition(emap, superpart)
+        assert part.shape == (g.n,)
+        # balance within superelement granularity
+        assert imbalance(g, part, 4) <= 1.0 + 2.0 * sg.vwgt.max() / (
+            g.total_vwgt() / 4
+        )
+
+    def test_target_validation(self):
+        g = grid_graph(3, 3)
+        with pytest.raises(ValueError):
+            agglomerate(g, 0)
+        with pytest.raises(ValueError):
+            expand_partition(np.array([5]), np.zeros(2, dtype=np.int64))
+
+    def test_edgeless_graph_stops(self):
+        g = Graph.from_pairs(np.empty((0, 2)), 8)
+        sg, emap = agglomerate(g, target_n=2)
+        assert sg.n == 8  # nothing to contract
+        assert np.array_equal(emap, np.arange(8))

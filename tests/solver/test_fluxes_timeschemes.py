@@ -1,0 +1,93 @@
+"""HLLC flux and SSP Runge–Kutta integrators."""
+
+import numpy as np
+import pytest
+
+from repro.mesh import box_mesh
+from repro.solver import EulerSolver, spherical_blast_field, uniform_flow
+from repro.solver.fluxes import hllc_flux, physical_flux, rusanov_flux
+from repro.solver.state import conservative
+
+
+def _edge_setup(n_edges, seed=0):
+    rng = np.random.default_rng(seed)
+    rho = 0.5 + rng.random(n_edges)
+    vel = rng.normal(scale=0.3, size=(n_edges, 3))
+    p = 0.5 + rng.random(n_edges)
+    q = conservative(rho, vel, p)
+    n = rng.normal(size=(n_edges, 3))
+    return q, n
+
+
+class TestFluxFunctions:
+    def test_consistency_equal_states(self):
+        """F(q, q, n) must reduce to the physical flux."""
+        q, n = _edge_setup(50)
+        phys = physical_flux(q, n)
+        assert np.allclose(rusanov_flux(q, q, n), phys, atol=1e-12)
+        assert np.allclose(hllc_flux(q, q, n), phys, atol=1e-9)
+
+    def test_hllc_resolves_stationary_contact(self):
+        """A stationary contact (equal p, zero normal velocity, jumped rho)
+        must produce zero HLLC flux — Rusanov smears it."""
+        n_edges = 10
+        n = np.tile(np.array([1.0, 0.0, 0.0]), (n_edges, 1))
+        qL = conservative(np.full(n_edges, 1.0), np.zeros((n_edges, 3)),
+                          np.full(n_edges, 1.0))
+        qR = conservative(np.full(n_edges, 3.0), np.zeros((n_edges, 3)),
+                          np.full(n_edges, 1.0))
+        f_hllc = hllc_flux(qL, qR, n)
+        f_rus = rusanov_flux(qL, qR, n)
+        # exact contact preservation: only the pressure term remains, and
+        # zero mass/energy transfer across the interface
+        assert np.allclose(f_hllc, physical_flux(qL, n), atol=1e-10)
+        assert np.allclose(f_hllc[:, 0], 0.0, atol=1e-10)
+        assert np.allclose(f_hllc[:, 4], 0.0, atol=1e-10)
+        # Rusanov smears the contact with a nonzero mass flux
+        assert np.abs(f_rus[:, 0]).max() > 0.1
+
+    def test_rotational_invariance_of_rusanov(self):
+        """Scaling the interface area scales the flux linearly."""
+        q, n = _edge_setup(20, seed=1)
+        qL, qR = q, np.roll(q, 1, axis=0)
+        f1 = rusanov_flux(qL, qR, n)
+        f2 = rusanov_flux(qL, qR, 2.0 * n)
+        assert np.allclose(f2, 2.0 * f1)
+
+
+class TestTimeSchemes:
+    @pytest.mark.parametrize("scheme", ["euler", "rk2", "rk3"])
+    @pytest.mark.parametrize("flux", ["rusanov", "hllc"])
+    def test_uniform_flow_steady(self, scheme, flux):
+        m = box_mesh(2, 2, 2)
+        s = EulerSolver(m, uniform_flow(m.coords, vel=(0.4, -0.1, 0.2)),
+                        flux=flux, time_scheme=scheme)
+        q0 = s.q.copy()
+        s.run(3)
+        assert np.allclose(s.q, q0, atol=1e-10)
+
+    @pytest.mark.parametrize("scheme", ["rk2", "rk3"])
+    def test_rk_stable_on_blast(self, scheme):
+        m = box_mesh(3, 3, 3)
+        q = spherical_blast_field(m.coords, center=(0.5, 0.5, 0.5), radius=0.2)
+        s = EulerSolver(m, q, time_scheme=scheme, flux="hllc")
+        s.run(8, cfl=0.5)
+        assert np.all(np.isfinite(s.q))
+        assert np.all(s.q[:, 0] > 0)
+
+    def test_hllc_less_dissipative_than_rusanov(self):
+        m = box_mesh(4, 4, 4)
+        q0 = spherical_blast_field(m.coords, center=(0.5, 0.5, 0.5), radius=0.25)
+        peaks = {}
+        for flux in ("rusanov", "hllc"):
+            s = EulerSolver(m, q0.copy(), flux=flux)
+            s.run(8, cfl=0.3)
+            peaks[flux] = s.q[:, 0].max()
+        assert peaks["hllc"] >= peaks["rusanov"]
+
+    def test_option_validation(self):
+        m = box_mesh(1, 1, 1)
+        with pytest.raises(ValueError, match="flux"):
+            EulerSolver(m, uniform_flow(m.coords), flux="roe")
+        with pytest.raises(ValueError, match="time_scheme"):
+            EulerSolver(m, uniform_flow(m.coords), time_scheme="rk9")
