@@ -1,5 +1,8 @@
 """Figure 6 — anatomy of execution time: adaption vs partitioning vs
-remapping across processor counts for the three strategies.
+reassignment vs remapping across processor counts for the three
+strategies.  The anatomy is rendered from tracer spans
+(:mod:`repro.obs`), not from ad-hoc report fields, so the same numbers
+appear in exported JSONL/Chrome traces.
 
 Paper claims the bench asserts:
 * repartitioning time depends essentially on the initial problem size —
@@ -42,6 +45,20 @@ def test_fig6_series(resolution, case, benchmark):
     for name, phases in data.items():
         a = phases["adaption"]
         assert a[2] > a[8] > a[64]
+
+    # the anatomy comes from tracer spans: the per-phase series must sum
+    # to the step's total virtual time (no phase silently dropped, and no
+    # wall-clock contamination)
+    from repro.experiments.sweep import run_step
+
+    for name in ("Real_1", "Real_2", "Real_3"):
+        for p in (2, 8, 64):
+            rep = run_step(resolution, name, "before", p)
+            span_sum = sum(ph[p] for ph in data[name].values())
+            assert abs(span_sum - rep.total_time) < 1e-9, (name, p)
+            root = rep.spans[0]
+            assert root.name == "adapt_step"
+            assert abs(root.v_duration - rep.total_time) < 1e-9, (name, p)
 
     # the partition-time model has its interior minimum where predicted
     n = case.mesh.ne

@@ -6,17 +6,29 @@ and runs the paper's full Fig.-1 cycle — marking, evaluation, parallel
 repartitioning, processor reassignment, gain/cost decision, data remapping
 before subdivision, and the subdivision itself — on 8 virtual processors.
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--trace-out run.jsonl] [--chrome-out run.json]
+
+With ``--trace-out``/``--chrome-out`` the run's phase spans, virtual-machine
+events, and counters are exported (see ``repro.obs``); the Chrome trace
+opens directly in chrome://tracing or https://ui.perfetto.dev.
 """
+
+import argparse
 
 import numpy as np
 
 from repro.core import CostModel, LoadBalancedAdaptiveSolver
 from repro.mesh import box_mesh, edge_midpoints
+from repro.obs import Tracer, export_chrome_trace, export_jsonl, validate_jsonl
 from repro.parallel import SP2_1997
 
 
 def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace-out", default=None, metavar="PATH")
+    ap.add_argument("--chrome-out", default=None, metavar="PATH")
+    args = ap.parse_args()
+    tracer = Tracer()
     mesh = box_mesh(4, 4, 4)
     print(f"Initial mesh: {mesh.ne} tetrahedra, {mesh.nedges} edges")
 
@@ -27,6 +39,7 @@ def main() -> None:
         cost_model=CostModel(machine=SP2_1997),
         reassigner="heuristic_mwbg",
         remap_when="before",  # the paper's key optimisation (§4.6)
+        tracer=tracer,
     )
     print(f"Initial solver imbalance: {solver.solver_imbalance():.3f}")
 
@@ -50,11 +63,17 @@ def main() -> None:
         print(f"  moved {report.remap.elements_moved} elements in "
               f"{report.remap.messages} messages "
               f"({report.remap_time * 1e3:.2f} ms on the virtual SP2)")
-    print(f"  phase times (virtual seconds): "
-          f"marking {report.marking_time:.4f}, "
-          f"partitioning {report.partition_time:.4f}, "
-          f"remapping {report.remap_time:.4f}, "
-          f"subdivision {report.subdivision_time:.4f}")
+    phases = report.phase_times()  # per-phase anatomy from tracer spans
+    print("  phase times (virtual seconds): "
+          + ", ".join(f"{k} {v:.4f}" for k, v in phases.items()))
+
+    if args.trace_out:
+        n = export_jsonl(tracer, args.trace_out)
+        validate_jsonl(args.trace_out)
+        print(f"  wrote {n} JSONL trace records to {args.trace_out}")
+    if args.chrome_out:
+        n = export_chrome_trace(tracer, args.chrome_out)
+        print(f"  wrote {n} Chrome-trace events to {args.chrome_out}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""CI smoke check for the observability layer.
+
+Runs ``python -m repro step --trace-out`` on a tiny mesh (resolution 4,
+a few hundred elements — seconds of wall time), then validates the
+emitted JSONL against the ``repro.obs/v1`` schema and sanity-checks the
+span tree: the step must contain marking/subdivision spans and the root
+span's virtual duration must equal the sum of its phase leaves.
+
+Exit status 0 on success, 1 with a diagnostic on any failure.
+
+Usage:  python scripts/smoke_trace.py  (from the repo root)
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+
+def fail(msg: str) -> "int":
+    print(f"smoke_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main() -> int:
+    sys.path.insert(0, SRC)
+    from repro.obs import SchemaError, read_jsonl, validate_jsonl
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        jsonl = os.path.join(tmp, "step.jsonl")
+        chrome = os.path.join(tmp, "step.json")
+        cmd = [
+            sys.executable, "-m", "repro", "step", "4", "--nproc", "4",
+            "--trace-out", jsonl, "--chrome-out", chrome,
+        ]
+        proc = subprocess.run(
+            cmd, env=env, cwd=REPO, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            return fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                        f"{proc.stdout}\n{proc.stderr}")
+
+        try:
+            summary = validate_jsonl(jsonl)
+        except SchemaError as exc:
+            return fail(f"JSONL schema violation: {exc}")
+        if summary["spans"] == 0:
+            return fail("trace contains no spans")
+
+        tracer = read_jsonl(jsonl)
+        names = {s.name for s in tracer.spans}
+        for required in ("adapt_step", "marking", "subdivision"):
+            if required not in names:
+                return fail(f"missing expected span {required!r}; got {names}")
+        roots = [s for s in tracer.spans if s.parent is None]
+        if len(roots) != 1:
+            return fail(f"expected one root span, got {len(roots)}")
+        leaf_names = ("marking", "repartition", "gather_scatter",
+                      "reassign", "remap", "subdivision")
+        leaf_sum = sum(s.v_duration for s in tracer.spans
+                       if s.name in leaf_names)
+        if abs(leaf_sum - roots[0].v_duration) > 1e-9:
+            return fail(
+                f"phase leaves sum to {leaf_sum} but the root span spans "
+                f"{roots[0].v_duration} virtual seconds"
+            )
+        if not os.path.exists(chrome) or os.path.getsize(chrome) == 0:
+            return fail("Chrome trace was not written")
+
+    print(f"smoke_trace: OK ({summary['spans']} spans, "
+          f"{summary['events']} events, {summary['counters']} counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,8 @@ flow computation — flow solver, 3D_TAG-style tetrahedral mesh adaptor,
 multilevel mesh repartitioner, similarity-matrix processor reassignment
 (optimal/heuristic MWBG and optimal BMCM), remapping cost model, and the
 data remapper — on top of a deterministic virtual message-passing machine.
+The :mod:`repro.obs` observability layer records every phase as nestable
+spans (virtual + wall clocks) exportable to JSONL and Chrome-trace format.
 
 Start with :class:`repro.core.framework.LoadBalancedAdaptiveSolver` or the
 scripts in ``examples/``.
@@ -14,4 +16,4 @@ scripts in ``examples/``.
 
 __version__ = "0.1.0"
 
-__all__ = ["adapt", "core", "mesh", "parallel", "partition", "solver"]
+__all__ = ["adapt", "core", "mesh", "obs", "parallel", "partition", "solver"]

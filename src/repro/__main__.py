@@ -5,46 +5,153 @@ Commands
 report [RESOLUTION]
     Regenerate every table and figure of the paper's evaluation section
     (default resolution 8 ≈ 6k elements; 13 is paper-scale).
+step [RESOLUTION]
+    Run one load-balanced adapt/balance cycle on the rotor case and print
+    its phase anatomy from tracer spans (``--nproc`` selects P).
 case [RESOLUTION]
     Print the synthetic rotor case's mesh sizes and growth factors.
 version
     Print the package version.
+
+Tracing
+-------
+``report`` and ``step`` accept ``--trace-out PATH`` to export the run's
+phase spans, events, and counters as JSONL (schema ``repro.obs/v1``) and
+``--chrome-out PATH`` to additionally write a Chrome-trace JSON that
+``chrome://tracing`` or https://ui.perfetto.dev can open.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    def add_tracing(p):
+        p.add_argument(
+            "--trace-out", metavar="PATH", default=None,
+            help="export phase spans/counters as JSONL (repro.obs/v1)",
+        )
+        p.add_argument(
+            "--chrome-out", metavar="PATH", default=None,
+            help="export a chrome://tracing-loadable trace JSON",
+        )
+
+    p_report = sub.add_parser("report", help="regenerate all tables/figures")
+    p_report.add_argument("resolution", nargs="?", type=int, default=8)
+    add_tracing(p_report)
+
+    p_step = sub.add_parser("step", help="one traced adapt/balance cycle")
+    p_step.add_argument("resolution", nargs="?", type=int, default=6)
+    p_step.add_argument("--nproc", type=int, default=8)
+    p_step.add_argument("--strategy", default="Real_2",
+                        choices=("Real_1", "Real_2", "Real_3"))
+    add_tracing(p_step)
+
+    p_case = sub.add_parser("case", help="print case sizes and growth factors")
+    p_case.add_argument("resolution", nargs="?", type=int, default=8)
+
+    sub.add_parser("version", help="print the package version")
+    return parser
+
+
+def _export(tracer, trace_out: str | None, chrome_out: str | None) -> None:
+    from repro.obs import export_chrome_trace, export_jsonl, validate_jsonl
+
+    if trace_out:
+        n = export_jsonl(tracer, trace_out)
+        validate_jsonl(trace_out)
+        print(f"wrote {n} JSONL records to {trace_out}")
+    if chrome_out:
+        n = export_chrome_trace(tracer, chrome_out)
+        print(f"wrote {n} Chrome-trace events to {chrome_out} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import run_all
+    from repro.obs import Tracer
+
+    tracing = bool(args.trace_out or args.chrome_out)
+    tracer = Tracer() if tracing else None
+    print(run_all(args.resolution, tracer=tracer))
+    if tracer is not None:
+        _export(tracer, args.trace_out, args.chrome_out)
+    return 0
+
+
+def _cmd_step(args) -> int:
+    from repro.core import CostModel, LoadBalancedAdaptiveSolver
+    from repro.experiments import make_case
+    from repro.experiments.report import format_counters
+    from repro.obs import Tracer
+    from repro.parallel import SP2_1997
+
+    case = make_case(args.resolution)
+    tracer = Tracer()
+    solver = LoadBalancedAdaptiveSolver(
+        case.mesh,
+        args.nproc,
+        machine=SP2_1997,
+        cost_model=CostModel(machine=SP2_1997),
+        imbalance_threshold=1.0,
+        tracer=tracer,
+    )
+    report = solver.adapt_step(edge_mask=case.marking_mask(args.strategy))
+
+    print(f"one {args.strategy} step at resolution {args.resolution} "
+          f"on P={args.nproc} (times are virtual seconds):")
+    for name, seconds in report.phase_times().items():
+        print(f"  {name:14s} {seconds:10.6f}")
+    print(f"  {'total':14s} {report.total_time:10.6f}")
+    print(f"  (reassignment host wall time, for reference: "
+          f"{report.reassign_wall_seconds:.6f} s)")
+    print()
+    print(format_counters(tracer))
+    _export(tracer, args.trace_out, args.chrome_out)
+    return 0
+
+
+def _cmd_case(args) -> int:
+    from repro.experiments import CASE_NAMES, make_case
+    from repro.experiments.sweep import growth_factor
+
+    case = make_case(args.resolution)
+    sz = case.mesh.sizes()
+    print(f"resolution {args.resolution}: "
+          + ", ".join(f"{k}={v}" for k, v in sz.items()))
+    for name in CASE_NAMES:
+        print(f"  {name}: G = {growth_factor(args.resolution, name):.3f}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    if not argv or argv[0] in ("-h", "--help", "help"):
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
         print(__doc__)
         return 0
-    cmd, *rest = argv
-    if cmd == "version":
+    if args.command == "version":
         import repro
 
         print(repro.__version__)
         return 0
-    if cmd == "report":
-        from repro.experiments.report import run_all
-
-        res = int(rest[0]) if rest else 8
-        print(run_all(res))
-        return 0
-    if cmd == "case":
-        from repro.experiments import CASE_NAMES, make_case
-        from repro.experiments.sweep import growth_factor
-
-        res = int(rest[0]) if rest else 8
-        case = make_case(res)
-        sz = case.mesh.sizes()
-        print(f"resolution {res}: " + ", ".join(f"{k}={v}" for k, v in sz.items()))
-        for name in CASE_NAMES:
-            print(f"  {name}: G = {growth_factor(res, name):.3f}")
-        return 0
-    print(f"unknown command {cmd!r}; try --help", file=sys.stderr)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "step":
+        return _cmd_step(args)
+    if args.command == "case":
+        return _cmd_case(args)
+    parser.error(f"unknown command {args.command!r}")
     return 2
 
 

@@ -21,6 +21,7 @@ import numpy as np
 from repro.adapt.adaptor import AdaptiveMesh
 from repro.adapt.marking import MarkingResult
 from repro.mesh.tetmesh import TetMesh
+from repro.obs import Span, Tracer, current_tracer
 from repro.parallel.ledger import CostLedger
 from repro.parallel.machine import MachineModel, SP2_1997
 from repro.partition.multilevel import multilevel_kway
@@ -31,7 +32,12 @@ from .cost import CostModel, Decision
 from .dualgraph import DualGraph
 from .evaluate import load_imbalance, needs_repartition
 from .metrics import RemapStats, remap_stats
-from .reassign import heuristic_mwbg, optimal_bmcm, optimal_mwbg
+from .reassign import (
+    heuristic_mwbg,
+    optimal_bmcm,
+    optimal_mwbg,
+    reassignment_time,
+)
 from .remap import RemapExecution, execute_remap
 from .similarity import charge_gather_scatter, similarity_matrix
 
@@ -53,14 +59,25 @@ def _combined(S, alpha, beta):
 
 @dataclass
 class StepReport:
-    """Everything one adapt/balance step produced (Fig. 6's anatomy)."""
+    """Everything one adapt/balance step produced (Fig. 6's anatomy).
+
+    Every ``*_time`` field is **modelled virtual seconds** on the active
+    :class:`~repro.parallel.machine.MachineModel` — the clock all of the
+    paper's figures are plotted in.  Host wall-clock measurements carry an
+    explicit ``wall`` in their name (:attr:`reassign_wall_seconds`) and
+    are never mixed into :attr:`total_time`.  The phase breakdown is also
+    recorded as tracer spans in :attr:`spans` (see :mod:`repro.obs`);
+    their virtual durations are the authoritative per-phase anatomy and
+    sum to :attr:`total_time`.
+    """
 
     marking_time: float = 0.0
     partition_time: float = 0.0
-    reassign_time: float = 0.0
+    reassign_time: float = 0.0  #: modelled §4.4 host sort/assign time
     gather_scatter_time: float = 0.0  #: modelled S-row gather + map scatter
     remap_time: float = 0.0
     subdivision_time: float = 0.0
+    reassign_wall_seconds: float = 0.0  #: host wall time actually spent solving
     imbalance_before: float = 1.0  #: predicted solver imbalance, old partition
     imbalance_after: float = 1.0  #: solver imbalance after the step
     repartition_triggered: bool = False
@@ -71,6 +88,7 @@ class StepReport:
     marking: MarkingResult | None = None
     growth_factor: float = 1.0
     mesh_sizes: dict = field(default_factory=dict)
+    spans: list[Span] = field(default_factory=list)  #: this step's span tree
 
     @property
     def adaption_time(self) -> float:
@@ -79,12 +97,24 @@ class StepReport:
 
     @property
     def total_time(self) -> float:
+        """Virtual seconds of the whole step: adaption + every load-balancer
+        phase (partitioning, §4.3 gather/scatter, reassignment, remapping)."""
         return (
             self.adaption_time
             + self.partition_time
+            + self.gather_scatter_time
             + self.reassign_time
             + self.remap_time
         )
+
+    def phase_times(self) -> dict[str, float]:
+        """Virtual seconds per leaf phase, summed from the recorded spans."""
+        from repro.obs import phase_virtual_times
+
+        keep = ("marking", "repartition", "gather_scatter", "reassign",
+                "remap", "subdivision")
+        all_phases = phase_virtual_times(self.spans)
+        return {k: all_phases.get(k, 0.0) for k in keep}
 
 
 class LoadBalancedAdaptiveSolver:
@@ -106,6 +136,12 @@ class LoadBalancedAdaptiveSolver:
         ``"after"`` — the baseline: subdivide first, then balance.
     imbalance_threshold:
         Predicted-imbalance level above which repartitioning is attempted.
+    tracer:
+        Optional :class:`repro.obs.Tracer` to record phase spans, point
+        events, and counters into.  When omitted, the ambient tracer
+        (:func:`repro.obs.use_tracer`) is used if one is installed, else
+        each :meth:`adapt_step` records into a private step tracer; either
+        way the step's spans are available on ``StepReport.spans``.
     """
 
     def __init__(
@@ -120,6 +156,7 @@ class LoadBalancedAdaptiveSolver:
         remap_when: str = "before",
         imbalance_threshold: float = 1.1,
         seed: int = 0,
+        tracer: Tracer | None = None,
     ):
         if nproc < 1:
             raise ValueError(f"nproc must be >= 1, got {nproc}")
@@ -147,6 +184,7 @@ class LoadBalancedAdaptiveSolver:
         self.remap_when = remap_when
         self.imbalance_threshold = imbalance_threshold
         self.seed = seed
+        self.tracer = tracer
         self.dual = DualGraph(self.adaptive.initial_mesh)
         # initial partitioning + mapping (Fig. 1's initialization box):
         # partition id f·P… maps to processor id partition // F
@@ -179,95 +217,176 @@ class LoadBalancedAdaptiveSolver:
         refine_frac: float | None = None,
         edge_mask: np.ndarray | None = None,
     ) -> StepReport:
-        """One pass of the Fig.-1 cycle (marking, balancing, subdivision)."""
+        """One pass of the Fig.-1 cycle (marking, balancing, subdivision).
+
+        The step is recorded as a span tree rooted at ``"adapt_step"``
+        (returned on ``StepReport.spans``): ``marking`` and
+        ``subdivision`` spans for the adaptor, and a ``balance`` span with
+        ``evaluate`` / ``repartition`` / ``gather_scatter`` / ``reassign``
+        / ``decide`` / ``remap`` children for the load balancer.
+        """
         report = StepReport()
-        ledger = CostLedger(self.nproc, self.machine)
-        owner = self.elem_owner()
+        tracer = self.tracer or current_tracer() or Tracer()
+        first_span = len(tracer.spans)
+        with tracer.phase(
+            "adapt_step",
+            nproc=self.nproc,
+            remap_when=self.remap_when,
+            reassigner=self.reassigner,
+        ):
+            with tracer.phase("marking") as sp:
+                ledger = CostLedger(self.nproc, self.machine, tracer=tracer)
+                owner = self.elem_owner()
+                marking = self.adaptive.mark(
+                    edge_error=edge_error,
+                    refine_frac=refine_frac,
+                    edge_mask=edge_mask,
+                    part=owner,
+                    ledger=ledger,
+                )
+                tracer.advance(ledger.elapsed)
+                edges_marked = int(np.count_nonzero(marking.edge_marked))
+                sp.attrs.update(
+                    edges_marked=edges_marked, iterations=marking.iterations
+                )
+                tracer.count("edges_marked", edges_marked)
+            report.marking = marking
+            report.marking_time = ledger.elapsed
 
-        marking = self.adaptive.mark(
-            edge_error=edge_error,
-            refine_frac=refine_frac,
-            edge_mask=edge_mask,
-            part=owner,
-            ledger=ledger,
-        )
-        report.marking = marking
-        report.marking_time = ledger.elapsed
+            wcomp_pred, _wremap_pred = self.adaptive.predicted_weights(marking)
+            report.imbalance_before = load_imbalance(
+                wcomp_pred, self.part, self.nproc
+            )
 
-        wcomp_pred, _wremap_pred = self.adaptive.predicted_weights(marking)
-        report.imbalance_before = load_imbalance(wcomp_pred, self.part, self.nproc)
+            if self.remap_when == "before":
+                self._balance(report, wcomp_pred, tracer)
+                self._subdivide(report, marking, tracer)
+            else:
+                self._subdivide(report, marking, tracer)
+                self._balance(report, self.adaptive.wcomp(), tracer)
 
-        if self.remap_when == "before":
-            self._balance(report, wcomp_pred)
-            self._subdivide(report, marking)
-        else:
-            self._subdivide(report, marking)
-            self._balance(report, self.adaptive.wcomp())
-
-        report.imbalance_after = self.solver_imbalance()
+            report.imbalance_after = self.solver_imbalance()
+            tracer.gauge("imbalance_after", report.imbalance_after)
+        report.spans = tracer.spans[first_span:]
         return report
 
     # --- internals -----------------------------------------------------------
 
-    def _subdivide(self, report: StepReport, marking: MarkingResult) -> None:
-        ledger = CostLedger(self.nproc, self.machine)
-        result = self.adaptive.refine(marking, part=self.elem_owner(), ledger=ledger)
+    def _subdivide(
+        self, report: StepReport, marking: MarkingResult, tracer: Tracer
+    ) -> None:
+        with tracer.phase("subdivision") as sp:
+            ledger = CostLedger(self.nproc, self.machine, tracer=tracer)
+            result = self.adaptive.refine(
+                marking, part=self.elem_owner(), ledger=ledger
+            )
+            tracer.advance(ledger.elapsed)
+            sp.attrs["growth_factor"] = result.growth_factor
         report.subdivision_time = ledger.elapsed
         report.growth_factor = result.growth_factor
         report.mesh_sizes = self.adaptive.mesh.sizes()
 
-    def _balance(self, report: StepReport, wcomp: np.ndarray) -> None:
+    def _balance(
+        self, report: StepReport, wcomp: np.ndarray, tracer: Tracer
+    ) -> None:
         """Evaluate → repartition → reassign → decide → remap."""
         if self.nproc == 1:
             return
-        if not needs_repartition(
-            wcomp, self.part, self.nproc, self.imbalance_threshold
-        ):
-            return
-        report.repartition_triggered = True
-        npart = self.F * self.nproc
+        with tracer.phase("balance"):
+            with tracer.phase("evaluate") as sp:
+                triggered = needs_repartition(
+                    wcomp, self.part, self.nproc, self.imbalance_threshold
+                )
+                sp.attrs["triggered"] = triggered
+            if not triggered:
+                return
+            report.repartition_triggered = True
+            tracer.count("repartitions_triggered")
+            npart = self.F * self.nproc
 
-        graph = self.dual.graph.with_vwgt(np.asarray(wcomp, dtype=np.int64))
-        old_as_parts = (self.part * self.F).astype(np.int64)
-        new_part = repartition(graph, npart, old_as_parts, seed=self.seed)
-        report.partition_time = partition_time(self.dual.n, self.nproc, self.machine)
+            with tracer.phase("repartition") as sp:
+                graph = self.dual.graph.with_vwgt(
+                    np.asarray(wcomp, dtype=np.int64)
+                )
+                old_as_parts = (self.part * self.F).astype(np.int64)
+                new_part = repartition(
+                    graph, npart, old_as_parts, seed=self.seed, tracer=tracer
+                )
+                report.partition_time = partition_time(
+                    self.dual.n, self.nproc, self.machine
+                )
+                tracer.advance(report.partition_time)
+                sp.attrs.update(npart=npart, n=self.dual.n)
 
-        # data physically moved: the *current* (pre- or post-subdivision)
-        # refinement trees, depending on remap_when
-        wremap_now = self.adaptive.wremap()
-        S = similarity_matrix(self.part, new_part, wremap_now, self.nproc, npart)
-        # §4.3: each processor computes its own row; a host gathers the
-        # P×F-integer rows, solves, and scatters the mapping back ("a
-        # minuscule amount of time" — modelled, so the claim is checkable)
-        gs_ledger = CostLedger(self.nproc, self.machine)
-        charge_gather_scatter(gs_ledger, npart)
-        report.gather_scatter_time = gs_ledger.elapsed
+            # data physically moved: the *current* (pre- or post-subdivision)
+            # refinement trees, depending on remap_when
+            wremap_now = self.adaptive.wremap()
+            with tracer.phase("gather_scatter") as sp:
+                S = similarity_matrix(
+                    self.part, new_part, wremap_now, self.nproc, npart
+                )
+                # §4.3: each processor computes its own row; a host gathers
+                # the P×F-integer rows, solves, and scatters the mapping back
+                # ("a minuscule amount of time" — modelled, so the claim is
+                # checkable)
+                gs_ledger = CostLedger(self.nproc, self.machine, tracer=tracer)
+                charge_gather_scatter(gs_ledger, npart)
+                report.gather_scatter_time = gs_ledger.elapsed
+                tracer.advance(report.gather_scatter_time)
+                sp.attrs["entries"] = int(np.count_nonzero(S))
 
-        t0 = time.perf_counter()
-        proc_of_part = _REASSIGNERS[self.reassigner](
-            S, self.F, self.machine.alpha, self.machine.beta
-        )
-        report.reassign_time = time.perf_counter() - t0
+            with tracer.phase("reassign") as sp:
+                # the modelled §4.4 cost: O(E log E) sort of the nonzero
+                # similarity entries at the host, then the linear assignment
+                # pass — kept in the same virtual clock as every other phase
+                report.reassign_time = reassignment_time(
+                    int(np.count_nonzero(S)), npart, self.machine
+                )
+                t0 = time.perf_counter()
+                proc_of_part = _REASSIGNERS[self.reassigner](
+                    S, self.F, self.machine.alpha, self.machine.beta
+                )
+                report.reassign_wall_seconds = time.perf_counter() - t0
+                tracer.advance(report.reassign_time)
+                sp.attrs["wall_seconds"] = report.reassign_wall_seconds
 
-        new_proc = proc_of_part[new_part]
-        stats = remap_stats(S, proc_of_part, self.machine.alpha, self.machine.beta)
-        report.stats = stats
-        decision = self.cost_model.decide(
-            wcomp, self.part, new_proc, self.nproc, stats
-        )
-        report.decision = decision
-        if not decision.accept:
-            return  # the new partitioning is discarded (Fig. 1)
+            new_proc = proc_of_part[new_part]
+            stats = remap_stats(
+                S, proc_of_part, self.machine.alpha, self.machine.beta
+            )
+            report.stats = stats
+            with tracer.phase("decide") as sp:
+                decision = self.cost_model.decide(
+                    wcomp, self.part, new_proc, self.nproc, stats
+                )
+                sp.attrs.update(
+                    gain=decision.gain, cost=decision.cost,
+                    accept=decision.accept,
+                )
+            report.decision = decision
+            if not decision.accept:
+                return  # the new partitioning is discarded (Fig. 1)
+            tracer.count("repartitions_accepted")
 
-        execu = execute_remap(
-            self.part,
-            new_proc,
-            wremap_now,
-            self.nproc,
-            storage_words=self.cost_model.storage_words,
-            machine=self.machine,
-        )
-        report.remap = execu
-        report.remap_time = execu.time_seconds
-        report.accepted = True
-        self.part = new_proc
+            with tracer.phase("remap") as sp:
+                execu = execute_remap(
+                    self.part,
+                    new_proc,
+                    wremap_now,
+                    self.nproc,
+                    storage_words=self.cost_model.storage_words,
+                    machine=self.machine,
+                    tracer=tracer,
+                )
+                tracer.advance(execu.time_seconds)
+                sp.attrs.update(
+                    elements_moved=execu.elements_moved,
+                    messages=execu.messages,
+                    words_moved=execu.words_moved,
+                )
+            tracer.count("elements_moved", execu.elements_moved)
+            tracer.count("words_moved", execu.words_moved)
+            report.remap = execu
+            report.remap_time = execu.time_seconds
+            report.accepted = True
+            self.part = new_proc

@@ -21,19 +21,52 @@ the ``P`` processors so the redistribution cost is minimised:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import maximum_bipartite_matching
+
+from repro.parallel.machine import MachineModel, SP2_1997
 
 __all__ = [
     "optimal_mwbg",
     "heuristic_mwbg",
     "optimal_bmcm",
     "objective_value",
+    "reassignment_time",
     "brute_force_totalv",
     "brute_force_maxv",
 ]
+
+#: Work units per similarity entry in the O(E log E) sort (§4.4).
+C_SORT = 1.0
+#: Work units per entry/partition of the linear greedy-assignment pass.
+C_ASSIGN = 1.0
+
+
+def reassignment_time(
+    n_entries: int, npart: int, machine: MachineModel = SP2_1997
+) -> float:
+    """Modelled host seconds for the §4.4 processor reassignment.
+
+    The paper sizes the reassignment as a sort of the ``E`` nonzero
+    similarity-matrix entries (``E ≤ P·(P·F)``; they use radix sort, we
+    use an O(E log E) comparison sort — same asymptotics at these sizes)
+    followed by a linear greedy assignment over entries and partitions.
+    It runs serially on the gathered rows at the host, so the whole cost
+    is charged as local work under the machine model — the same virtual
+    clock every other :class:`~repro.core.framework.StepReport` phase is
+    measured in.
+    """
+    if n_entries < 0:
+        raise ValueError(f"negative entry count: {n_entries}")
+    if npart < 1:
+        raise ValueError(f"need at least one partition, got {npart}")
+    e = max(int(n_entries), 1)
+    units = C_SORT * e * math.log2(e + 1) + C_ASSIGN * (e + npart)
+    return machine.work_time(units)
 
 
 def _check_S(S: np.ndarray, F: int) -> tuple[np.ndarray, int, int]:

@@ -63,14 +63,18 @@ def execute_remap(
     nproc: int,
     storage_words: int = 24,
     machine: MachineModel = SP2_1997,
+    tracer=None,
 ) -> RemapExecution:
     """Migrate ownership from ``old_proc`` to ``new_proc`` on the VM.
 
     Conservation is asserted: every element is owned by exactly one
-    processor before and after.
+    processor before and after.  With ``tracer`` set to a
+    :class:`repro.obs.Tracer`, every virtual-machine send/recv of the
+    migration program is mirrored into it, so the exported trace shows
+    the full communication schedule of the remap.
     """
     move = build_move_matrix(old_proc, new_proc, wremap, nproc)
-    vm = VirtualMachine(nproc, machine)
+    vm = VirtualMachine(nproc, machine, tracer=tracer)
 
     send_plans = [
         [(d, int(move[r, d])) for d in range(nproc) if move[r, d] > 0]

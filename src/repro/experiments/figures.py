@@ -49,16 +49,30 @@ def fig5_remap_times(resolution: int = 8) -> dict[str, dict[str, dict[int, float
 
 
 def fig6_anatomy(resolution: int = 8) -> dict[str, dict[str, dict[int, float]]]:
-    """Adaption / partitioning / remapping seconds per strategy and P
-    (remap-before mode, TotalV metric, heuristic MWBG — as in the paper)."""
+    """Adaption / partitioning / reassignment / remapping virtual seconds
+    per strategy and P (remap-before mode, TotalV metric, heuristic MWBG —
+    as in the paper).
+
+    The anatomy is read from each step's tracer spans
+    (``StepReport.phase_times()``), not from hand-maintained report
+    fields: adaption = marking + subdivision spans, reassignment = the
+    §4.3 gather/scatter plus the §4.4 reassign span.
+    """
     out: dict[str, dict[str, dict[int, float]]] = {}
     for name in CASE_NAMES:
-        series = {"adaption": {}, "partitioning": {}, "remapping": {}}
+        series: dict[str, dict[int, float]] = {
+            "adaption": {}, "partitioning": {}, "reassignment": {},
+            "remapping": {},
+        }
         for p in PROC_COUNTS:
             rep = run_step(resolution, name, "before", p)
-            series["adaption"][p] = rep.adaption_time
-            series["partitioning"][p] = rep.partition_time
-            series["remapping"][p] = rep.remap_time
+            phases = rep.phase_times()
+            series["adaption"][p] = phases["marking"] + phases["subdivision"]
+            series["partitioning"][p] = phases["repartition"]
+            series["reassignment"][p] = (
+                phases["gather_scatter"] + phases["reassign"]
+            )
+            series["remapping"][p] = phases["remap"]
         out[name] = series
     return out
 

@@ -7,6 +7,9 @@ figure of the evaluation section; the benchmark files print the same rows.
 from __future__ import annotations
 
 import sys
+from contextlib import nullcontext
+
+from repro.obs import Tracer, use_tracer
 
 from .cases import CASE_NAMES, REAL_FRACTIONS, make_case
 from .figures import (
@@ -25,6 +28,7 @@ __all__ = [
     "format_table1",
     "format_table2",
     "format_series",
+    "format_counters",
     "run_all",
 ]
 
@@ -58,8 +62,30 @@ def format_series(series: dict[int, float], fmt: str = "8.3f") -> str:
     return "  ".join(f"P={p}:{v:{fmt}}" for p, v in sorted(series.items()))
 
 
-def run_all(resolution: int = 8) -> str:
-    """Run every experiment and return the full text report."""
+def format_counters(tracer: Tracer) -> str:
+    """Render a tracer's counters/gauges as a small two-column table."""
+    lines = [f"{'counter':28s} {'value':>14s}"]
+    for name, value in sorted(tracer.counters.items()):
+        lines.append(f"{name:28s} {value:14g}")
+    for name, value in sorted(tracer.gauges.items()):
+        lines.append(f"{name + ' (gauge)':28s} {value:14g}")
+    return "\n".join(lines)
+
+
+def run_all(resolution: int = 8, tracer: Tracer | None = None) -> str:
+    """Run every experiment and return the full text report.
+
+    All reported times are *virtual* machine-model seconds (see
+    :mod:`repro.obs`).  Pass a :class:`~repro.obs.Tracer` to record every
+    solver step's phase spans and counters for export; a counter summary
+    is then appended to the report.
+    """
+    ctx = use_tracer(tracer) if tracer is not None else nullcontext()
+    with ctx:
+        return _run_all(resolution, tracer)
+
+
+def _run_all(resolution: int, tracer: Tracer | None) -> str:
     out: list[str] = []
     case = make_case(resolution)
     out.append(f"=== Rotor case at resolution {resolution} "
@@ -100,7 +126,7 @@ def run_all(resolution: int = 8) -> str:
             out.append(f"  {name:7s} {mode:6s}: {format_series(series, '8.4f')}")
     out.append("")
 
-    out.append("--- Fig 6: anatomy (seconds) ---")
+    out.append("--- Fig 6: anatomy (virtual seconds, from tracer spans) ---")
     for name, phases in fig6_anatomy(resolution).items():
         for phase, series in phases.items():
             out.append(f"  {name:7s} {phase:12s}: {format_series(series, '8.4f')}")
@@ -115,6 +141,11 @@ def run_all(resolution: int = 8) -> str:
     for name, series in fig8_actual_improvement(resolution).items():
         out.append(f"  {name:7s}: {format_series(series, '6.2f')}")
     out.append("")
+
+    if tracer is not None:
+        out.append("--- Observability counters (whole report run) ---")
+        out.append(format_counters(tracer))
+        out.append("")
 
     return "\n".join(out)
 

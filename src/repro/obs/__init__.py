@@ -1,0 +1,57 @@
+"""Unified observability layer: phase spans, counters, trace export.
+
+Every phase of the solve → adapt → balance cycle is double-clocked:
+
+* **virtual seconds** — the modelled machine time accumulated by the
+  :class:`~repro.parallel.ledger.CostLedger`/
+  :class:`~repro.parallel.runtime.VirtualMachine` under the active
+  :class:`~repro.parallel.machine.MachineModel`; this is the clock every
+  paper figure is plotted in, and
+* **wall seconds** — host ``time.perf_counter()`` time, i.e. what the
+  reproduction itself costs to run.
+
+A :class:`Tracer` records nestable :class:`Span` phases carrying both
+clocks, point :class:`PointEvent` records (e.g. every virtual-machine
+send/recv/probe during a remap), and a flat counter/gauge registry.
+:mod:`repro.obs.export` serialises a tracer to JSONL (one record per
+line, schema ``repro.obs/v1``) and to the Chrome trace-event format that
+``chrome://tracing`` / Perfetto can open directly.
+
+Instrumented code takes an optional ``tracer`` argument and falls back to
+the ambient tracer installed with :func:`use_tracer`, so experiment
+drivers opt in with one ``with`` block and zero plumbing.
+"""
+
+from .tracer import (
+    PointEvent,
+    Span,
+    Tracer,
+    current_tracer,
+    maybe_phase,
+    phase_virtual_times,
+    use_tracer,
+)
+from .export import (
+    SCHEMA_VERSION,
+    SchemaError,
+    export_chrome_trace,
+    export_jsonl,
+    read_jsonl,
+    validate_jsonl,
+)
+
+__all__ = [
+    "PointEvent",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "export_chrome_trace",
+    "export_jsonl",
+    "maybe_phase",
+    "phase_virtual_times",
+    "read_jsonl",
+    "use_tracer",
+    "validate_jsonl",
+]

@@ -1,0 +1,312 @@
+"""Serialise a :class:`~repro.obs.tracer.Tracer` to JSONL and Chrome trace.
+
+JSONL schema (``repro.obs/v1``)
+-------------------------------
+One JSON object per line.  The first line is the meta record; every other
+line is a span, event, counter, or gauge record:
+
+``{"type": "meta", "schema": "repro.obs/v1", "spans": N, "events": M,
+"counters": C, "gauges": G}``
+    Header; the counts must match the number of records that follow.
+
+``{"type": "span", "index": int, "parent": int|null, "depth": int >= 0,
+"name": str, "rank": int|null, "v_start": float, "v_end": float,
+"wall_start": float, "wall_end": float, "attrs": object}``
+    A closed phase span; ``v_end >= v_start``, ``wall_end >= wall_start``,
+    and ``parent`` (when non-null) names an earlier span's ``index``.
+
+``{"type": "event", "name": str, "v_time": float, "rank": int|null,
+"span": int|null, "attrs": object}``
+    A point event on the virtual timeline.
+
+``{"type": "counter"|"gauge", "name": str, "value": number}``
+
+Chrome trace export writes the ``chrome://tracing`` / Perfetto JSON object
+format: spans become complete ``"X"`` slices on the *virtual* timeline
+(microsecond ``ts``/``dur``), point events become thread-scoped instants,
+and counters become one final ``"C"`` sample.  Ranked records render on a
+per-rank virtual thread; un-ranked spans render on tid 0 ("framework").
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tracer import PointEvent, Span, Tracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "export_chrome_trace",
+    "export_jsonl",
+    "read_jsonl",
+    "validate_jsonl",
+]
+
+SCHEMA_VERSION = "repro.obs/v1"
+
+
+class SchemaError(ValueError):
+    """An exported trace file violates the documented JSONL schema."""
+
+
+# --- JSONL -------------------------------------------------------------------
+
+
+def export_jsonl(tracer: Tracer, path) -> int:
+    """Write the tracer to ``path`` in the v1 JSONL schema.
+
+    Open spans are skipped (a trace is exported after the run).  Returns
+    the number of records written, including the meta line.
+    """
+    spans = [s for s in tracer.spans if not s.open]
+    records = [
+        {
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "spans": len(spans),
+            "events": len(tracer.events),
+            "counters": len(tracer.counters),
+            "gauges": len(tracer.gauges),
+        }
+    ]
+    for s in spans:
+        records.append(
+            {
+                "type": "span",
+                "index": s.index,
+                "parent": s.parent,
+                "depth": s.depth,
+                "name": s.name,
+                "rank": s.rank,
+                "v_start": s.v_start,
+                "v_end": s.v_end,
+                "wall_start": s.wall_start,
+                "wall_end": s.wall_end,
+                "attrs": s.attrs,
+            }
+        )
+    for e in tracer.events:
+        records.append(
+            {
+                "type": "event",
+                "name": e.name,
+                "v_time": e.v_time,
+                "rank": e.rank,
+                "span": e.span,
+                "attrs": e.attrs,
+            }
+        )
+    for name, value in tracer.counters.items():
+        records.append({"type": "counter", "name": name, "value": value})
+    for name, value in tracer.gauges.items():
+        records.append({"type": "gauge", "name": name, "value": value})
+
+    with open(path, "w") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec) + "\n")
+    return len(records)
+
+
+def read_jsonl(path) -> Tracer:
+    """Reconstruct a tracer from a v1 JSONL file (validates on the way)."""
+    validate_jsonl(path)
+    tracer = Tracer()
+    with open(path) as fh:
+        for line in fh:
+            rec = json.loads(line)
+            if rec["type"] == "span":
+                tracer.spans.append(
+                    Span(
+                        name=rec["name"],
+                        index=rec["index"],
+                        parent=rec["parent"],
+                        depth=rec["depth"],
+                        v_start=rec["v_start"],
+                        wall_start=rec["wall_start"],
+                        v_end=rec["v_end"],
+                        wall_end=rec["wall_end"],
+                        rank=rec["rank"],
+                        attrs=rec["attrs"],
+                    )
+                )
+            elif rec["type"] == "event":
+                tracer.events.append(
+                    PointEvent(
+                        name=rec["name"],
+                        v_time=rec["v_time"],
+                        rank=rec["rank"],
+                        span=rec["span"],
+                        attrs=rec["attrs"],
+                    )
+                )
+            elif rec["type"] == "counter":
+                tracer.counters[rec["name"]] = rec["value"]
+            elif rec["type"] == "gauge":
+                tracer.gauges[rec["name"]] = rec["value"]
+    if tracer.spans:
+        tracer._vclock = max(s.v_end for s in tracer.spans)
+    return tracer
+
+
+_REQUIRED = {
+    "meta": {"schema": str, "spans": int, "events": int, "counters": int,
+             "gauges": int},
+    "span": {"index": int, "depth": int, "name": str, "v_start": (int, float),
+             "v_end": (int, float), "wall_start": (int, float),
+             "wall_end": (int, float), "attrs": dict},
+    "event": {"name": str, "v_time": (int, float), "attrs": dict},
+    "counter": {"name": str, "value": (int, float)},
+    "gauge": {"name": str, "value": (int, float)},
+}
+_NULLABLE_INT = {"span": ("parent", "rank"), "event": ("rank", "span")}
+
+
+def validate_jsonl(path) -> dict:
+    """Validate a JSONL trace against the v1 schema.
+
+    Raises :class:`SchemaError` on the first violation; returns a summary
+    ``{"spans": N, "events": M, "counters": C, "gauges": G}`` on success.
+    """
+    counts = {"span": 0, "event": 0, "counter": 0, "gauge": 0}
+    meta = None
+    span_indices: set[int] = set()
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if not line.strip():
+                raise SchemaError(f"line {lineno}: blank line")
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SchemaError(f"line {lineno}: invalid JSON: {exc}") from exc
+            if not isinstance(rec, dict):
+                raise SchemaError(f"line {lineno}: record must be an object")
+            kind = rec.get("type")
+            if lineno == 1:
+                if kind != "meta":
+                    raise SchemaError("line 1: first record must be the meta line")
+                meta = rec
+            elif kind == "meta":
+                raise SchemaError(f"line {lineno}: duplicate meta record")
+            if kind not in _REQUIRED:
+                raise SchemaError(f"line {lineno}: unknown record type {kind!r}")
+            for key, typ in _REQUIRED[kind].items():
+                if key not in rec:
+                    raise SchemaError(f"line {lineno}: {kind} missing {key!r}")
+                if not isinstance(rec[key], typ) or isinstance(rec[key], bool):
+                    raise SchemaError(
+                        f"line {lineno}: {kind}.{key} has type "
+                        f"{type(rec[key]).__name__}"
+                    )
+            for key in _NULLABLE_INT.get(kind, ()):
+                v = rec.get(key)
+                if v is not None and (not isinstance(v, int) or isinstance(v, bool)):
+                    raise SchemaError(
+                        f"line {lineno}: {kind}.{key} must be an int or null"
+                    )
+            if kind == "meta":
+                if rec["schema"] != SCHEMA_VERSION:
+                    raise SchemaError(
+                        f"unsupported schema {rec['schema']!r} "
+                        f"(expected {SCHEMA_VERSION!r})"
+                    )
+                continue
+            counts[kind] += 1
+            if kind == "span":
+                if rec["v_end"] < rec["v_start"]:
+                    raise SchemaError(f"line {lineno}: span ends before it starts")
+                if rec["wall_end"] < rec["wall_start"]:
+                    raise SchemaError(
+                        f"line {lineno}: span wall clock runs backwards"
+                    )
+                if rec["depth"] < 0:
+                    raise SchemaError(f"line {lineno}: negative depth")
+                parent = rec["parent"]
+                if parent is not None and parent not in span_indices:
+                    raise SchemaError(
+                        f"line {lineno}: parent {parent} not seen before span "
+                        f"{rec['index']}"
+                    )
+                span_indices.add(rec["index"])
+    if meta is None:
+        raise SchemaError("empty trace file (no meta record)")
+    for kind, key in (("span", "spans"), ("event", "events"),
+                      ("counter", "counters"), ("gauge", "gauges")):
+        if counts[kind] != meta[key]:
+            raise SchemaError(
+                f"meta declares {meta[key]} {key}, found {counts[kind]}"
+            )
+    return {"spans": counts["span"], "events": counts["event"],
+            "counters": counts["counter"], "gauges": counts["gauge"]}
+
+
+# --- Chrome trace ------------------------------------------------------------
+
+_US = 1e6  # Chrome trace timestamps are microseconds
+
+
+def _tid(rank: int | None) -> int:
+    return 0 if rank is None else rank + 1
+
+
+def export_chrome_trace(tracer: Tracer, path) -> int:
+    """Write a ``chrome://tracing``-loadable JSON file on the virtual clock.
+
+    Returns the number of trace events written (excluding metadata).
+    """
+    events: list[dict] = [
+        {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+         "args": {"name": "repro virtual machine"}},
+        {"ph": "M", "pid": 0, "tid": 0, "name": "thread_name",
+         "args": {"name": "framework"}},
+    ]
+    ranks = sorted(
+        {s.rank for s in tracer.spans if s.rank is not None}
+        | {e.rank for e in tracer.events if e.rank is not None}
+    )
+    for r in ranks:
+        events.append(
+            {"ph": "M", "pid": 0, "tid": _tid(r), "name": "thread_name",
+             "args": {"name": f"rank {r}"}}
+        )
+    n = 0
+    for s in tracer.spans:
+        if s.open:
+            continue
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": _tid(s.rank),
+                "name": s.name,
+                "cat": "phase",
+                "ts": s.v_start * _US,
+                "dur": s.v_duration * _US,
+                "args": {"wall_seconds": s.wall_duration, **s.attrs},
+            }
+        )
+        n += 1
+    for e in tracer.events:
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "pid": 0,
+                "tid": _tid(e.rank),
+                "name": e.name,
+                "cat": "event",
+                "ts": e.v_time * _US,
+                "args": dict(e.attrs),
+            }
+        )
+        n += 1
+    t_end = max([s.v_end for s in tracer.spans if not s.open] or [0.0])
+    for name, value in sorted(tracer.counters.items()):
+        events.append(
+            {"ph": "C", "pid": 0, "tid": 0, "name": name,
+             "ts": t_end * _US, "args": {"value": value}}
+        )
+        n += 1
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return n

@@ -26,16 +26,29 @@ class CostLedger:
     All ``add_*`` methods accumulate onto rank clocks; :meth:`barrier`
     synchronises every clock to the maximum plus a dissemination-barrier
     term of ``ceil(log2 P)`` message startups.
+
+    With ``tracer`` set to a :class:`repro.obs.Tracer`, every charged
+    message/word is also added to the ``ledger.messages`` /
+    ``ledger.words`` counters, so traffic shows up in exported traces.
     """
 
-    def __init__(self, nranks: int, machine: MachineModel = SP2_1997):
+    def __init__(self, nranks: int, machine: MachineModel = SP2_1997,
+                 tracer=None):
         if nranks < 1:
             raise ValueError(f"need at least one rank, got {nranks}")
         self.nranks = nranks
         self.machine = machine
+        self.tracer = tracer
         self.clocks = np.zeros(nranks, dtype=np.float64)
         self.total_messages = 0
         self.total_words = 0
+
+    def _count_traffic(self, messages: int, words: int) -> None:
+        self.total_messages += messages
+        self.total_words += words
+        if self.tracer is not None:
+            self.tracer.count("ledger.messages", messages)
+            self.tracer.count("ledger.words", words)
 
     def add_work(self, rank: int, units: float) -> None:
         """Charge ``units`` of computation to one rank."""
@@ -62,8 +75,7 @@ class CostLedger:
         t = self.machine.msg_time(nwords)
         self.clocks[src] += t
         self.clocks[dst] += self.machine.t_setup
-        self.total_messages += 1
-        self.total_words += nwords
+        self._count_traffic(1, nwords)
 
     def add_exchange(self, volume: np.ndarray) -> None:
         """Charge a full exchange from a ``(P, P)`` word-volume matrix.
@@ -86,8 +98,7 @@ class CostLedger:
         send_t = nmsg_out * self.machine.t_setup + off.sum(axis=1) * self.machine.t_word
         recv_t = nmsg_in * self.machine.t_setup + off.sum(axis=0) * self.machine.t_word
         self.clocks += np.maximum(send_t, recv_t)
-        self.total_messages += int((off > 0).sum())
-        self.total_words += int(off.sum())
+        self._count_traffic(int((off > 0).sum()), int(off.sum()))
 
     def barrier(self) -> None:
         """Synchronise all ranks: max clock plus log2(P) startup rounds."""

@@ -29,7 +29,17 @@ ANY = -1
 
 
 class DeadlockError(RuntimeError):
-    """Raised when no rank can make progress but some are still blocked."""
+    """Raised when no rank can make progress but some are still blocked.
+
+    The message lists, per blocked rank, the pending ``recv(source, tag)``
+    and a summary of the unmatched messages sitting in its mailbox; the
+    same data is available programmatically as ``blocked`` —
+    a list of ``(rank, (source, tag), [(source, tag, count), ...])``.
+    """
+
+    def __init__(self, message: str, blocked: list | None = None):
+        super().__init__(message)
+        self.blocked = blocked or []
 
 
 # --- operation descriptors yielded by rank programs ------------------------
@@ -97,7 +107,7 @@ class TraceEvent:
 
     time: float
     rank: int
-    kind: str  # "send" | "recv" | "work"
+    kind: str  # "send" | "recv" | "work" | "probe"
     detail: tuple
 
 
@@ -121,18 +131,23 @@ class RunResult:
 class VirtualMachine:
     """A virtual message-passing machine with ``nranks`` processors.
 
-    With ``trace=True`` the scheduler records every send, receive, and
-    work event with its virtual timestamp (useful for debugging rank
-    programs and visualising communication schedules).
+    With ``trace=True`` the scheduler records every send, receive, probe,
+    and work event with its virtual timestamp (useful for debugging rank
+    programs and visualising communication schedules).  With ``tracer``
+    set to a :class:`repro.obs.Tracer`, the same events are mirrored into
+    it as point events named ``vm.<kind>`` (offset by the tracer's virtual
+    clock at the start of the run) and the run's message/word totals are
+    added to the ``vm.messages`` / ``vm.words`` counters.
     """
 
     def __init__(self, nranks: int, machine: MachineModel = SP2_1997,
-                 trace: bool = False):
+                 trace: bool = False, tracer=None):
         if nranks < 1:
             raise ValueError(f"need at least one rank, got {nranks}")
         self.nranks = nranks
         self.machine = machine
         self.trace = trace
+        self.tracer = tracer
 
     def run(self, program: Callable, *args, **kwargs) -> RunResult:
         """Run ``program(comm, *args, **kwargs)`` on every rank.
@@ -162,7 +177,9 @@ class VirtualMachine:
         ready: list[tuple[float, int]] = [(0.0, r) for r in range(self.nranks)]
         heapq.heapify(ready)
         seq = 0
-        events: list[TraceEvent] | None = [] if self.trace else None
+        events: list[TraceEvent] | None = (
+            [] if (self.trace or self.tracer is not None) else None
+        )
 
         while ready:
             clock, r = heapq.heappop(ready)
@@ -212,13 +229,19 @@ class VirtualMachine:
                     if self._matches(RecvOp(op.source, op.tag), m)
                     and m.arrival <= st.clock
                 ]
+                # the mailbox check costs t_setup whether or not it matches
+                st.clock += self.machine.t_setup
                 if ready_msgs:
                     msg = min(ready_msgs, key=lambda m: m.seq)
                     st.mailbox.remove(msg)
-                    st.clock += self.machine.t_setup
                     st.send_value = (True, (msg.payload, msg.source, msg.tag))
                 else:
                     st.send_value = (False, None)
+                if events is not None:
+                    events.append(
+                        TraceEvent(st.clock, r, "probe",
+                                   (op.source, op.tag, bool(ready_msgs)))
+                    )
                 heapq.heappush(ready, (st.clock, r))
             elif isinstance(op, RecvOp):
                 st.blocked_on = op
@@ -228,11 +251,23 @@ class VirtualMachine:
             else:
                 raise TypeError(f"rank {r} yielded unknown op {op!r}")
 
-        blocked = [s.rank for s in ranks if not s.done]
-        if blocked:
+        stuck = [s for s in ranks if not s.done]
+        if stuck:
             raise DeadlockError(
-                f"ranks {blocked} are blocked on receives that never arrive"
+                f"ranks {[s.rank for s in stuck]} are blocked on receives "
+                "that never arrive:\n" + "\n".join(_blocked_line(s) for s in stuck),
+                blocked=[_blocked_record(s) for s in stuck],
             )
+
+        if self.tracer is not None and events is not None:
+            base = self.tracer.virtual_now
+            for ev in events:
+                self.tracer.event(
+                    f"vm.{ev.kind}", v_time=base + ev.time, rank=ev.rank,
+                    detail=list(ev.detail),
+                )
+            self.tracer.count("vm.messages", sum(s.msgs_sent for s in ranks))
+            self.tracer.count("vm.words", sum(s.words_sent for s in ranks))
 
         return RunResult(
             returns=[s.retval for s in ranks],
@@ -240,7 +275,7 @@ class VirtualMachine:
             total_messages=sum(s.msgs_sent for s in ranks),
             total_words=sum(s.words_sent for s in ranks),
             words_sent_per_rank=[s.words_sent for s in ranks],
-            trace=events,
+            trace=events if self.trace else None,
         )
 
     @staticmethod
@@ -265,6 +300,43 @@ class VirtualMachine:
             )
         st.send_value = (best.payload, best.source, best.tag)
         heapq.heappush(ready, (st.clock, st.rank))
+
+
+def _fmt_match(value: int) -> str:
+    return "ANY" if value == ANY else str(value)
+
+
+def _mailbox_summary(st: _Rank) -> list[tuple[int, int, int]]:
+    """Unmatched-message census: sorted ``(source, tag, count)`` triples."""
+    census: dict[tuple[int, int], int] = {}
+    for m in st.mailbox:
+        key = (m.source, m.tag)
+        census[key] = census.get(key, 0) + 1
+    return [(src, tag, n) for (src, tag), n in sorted(census.items())]
+
+
+def _blocked_record(st: _Rank) -> tuple:
+    op = st.blocked_on
+    pending = (op.source, op.tag) if op is not None else None
+    return (st.rank, pending, _mailbox_summary(st))
+
+
+def _blocked_line(st: _Rank) -> str:
+    op = st.blocked_on
+    pending = (
+        f"recv(source={_fmt_match(op.source)}, tag={_fmt_match(op.tag)})"
+        if op is not None
+        else "no pending receive"
+    )
+    box = _mailbox_summary(st)
+    if box:
+        listing = ", ".join(
+            f"(source={src}, tag={tag})×{n}" for src, tag, n in box
+        )
+        mailbox = f"mailbox holds {len(st.mailbox)} unmatched: {listing}"
+    else:
+        mailbox = "mailbox empty"
+    return f"  rank {st.rank}: waiting on {pending}; {mailbox}"
 
 
 class per_rank:

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import current_tracer, maybe_phase
+
 from .contract import contract
 from .fm_refine import kway_greedy_refine
 from .graph import Graph
@@ -36,9 +38,17 @@ def repartition(
     old_part: np.ndarray,
     seed: int = 0,
     ub: float = 1.05,
+    tracer=None,
 ) -> np.ndarray:
     """k-way partition balanced under ``graph.vwgt``, biased toward
-    ``old_part`` to reduce data movement."""
+    ``old_part`` to reduce data movement.
+
+    With a :class:`repro.obs.Tracer` (passed or ambient), the coarsen /
+    rebalance / uncoarsen stages are recorded as wall-clock spans (the
+    *virtual* partitioning time is modelled separately, by
+    :func:`repro.partition.parallel_model.partition_time`).
+    """
+    tracer = tracer if tracer is not None else current_tracer()
     old_part = np.asarray(old_part, dtype=np.int64)
     if old_part.shape != (graph.n,):
         raise ValueError(f"old_part must have shape ({graph.n},)")
@@ -56,32 +66,42 @@ def repartition(
     levels: list[tuple[Graph, np.ndarray]] = []  # (fine graph, fine->coarse map)
     g = graph
     part = old_part
-    while g.n > max(_COARSEN_TO, 8 * k):
-        match = heavy_edge_matching(g, rng, allowed=part)
-        coarse, cmap = contract(g, match)
-        if coarse.n > _MIN_SHRINK * g.n:
-            break
-        levels.append((g, cmap))
-        # matching never crosses partitions, so the projection is exact
-        cpart = np.zeros(coarse.n, dtype=np.int64)
-        cpart[cmap] = part
-        g, part = coarse, cpart
+    with maybe_phase(tracer, "repartition.coarsen", n_fine=graph.n) as sp:
+        while g.n > max(_COARSEN_TO, 8 * k):
+            match = heavy_edge_matching(g, rng, allowed=part)
+            coarse, cmap = contract(g, match)
+            if coarse.n > _MIN_SHRINK * g.n:
+                break
+            levels.append((g, cmap))
+            # matching never crosses partitions, so the projection is exact
+            cpart = np.zeros(coarse.n, dtype=np.int64)
+            cpart[cmap] = part
+            g, part = coarse, cpart
+        if sp is not None:
+            sp.attrs.update(levels=len(levels), n_coarse=g.n)
 
     # rebalance on the coarsest graph, then refine on the way back up;
     # balance_only keeps cut-improving (but data-moving) churn out
     old_coarse = part
-    part = kway_greedy_refine(g, part, k, ub=ub, max_passes=8, balance_only=True)
-    if _max_over(g, part, k) > ub + 1e-9:
-        # the old partition is too skewed for local moves to fix: fall back
-        # to a fresh partition of the coarse graph (loses some locality but
-        # stays cheap — the coarse graph is small), then relabel its parts
-        # for maximum weighted agreement with the old partition so the
-        # fallback still moves as little data as possible
-        part = multilevel_kway(g, k, seed=seed, ub=ub)
-        part = _relabel_for_agreement(g, old_coarse, part, k)
-    for fine, cmap in reversed(levels):
-        part = part[cmap]
-        part = kway_greedy_refine(fine, part, k, ub=ub, balance_only=True)
+    with maybe_phase(tracer, "repartition.rebalance") as sp:
+        part = kway_greedy_refine(g, part, k, ub=ub, max_passes=8,
+                                  balance_only=True)
+        fallback = _max_over(g, part, k) > ub + 1e-9
+        if fallback:
+            # the old partition is too skewed for local moves to fix: fall
+            # back to a fresh partition of the coarse graph (loses some
+            # locality but stays cheap — the coarse graph is small), then
+            # relabel its parts for maximum weighted agreement with the old
+            # partition so the fallback still moves as little data as
+            # possible
+            part = multilevel_kway(g, k, seed=seed, ub=ub)
+            part = _relabel_for_agreement(g, old_coarse, part, k)
+        if sp is not None:
+            sp.attrs["fallback"] = fallback
+    with maybe_phase(tracer, "repartition.uncoarsen", levels=len(levels)):
+        for fine, cmap in reversed(levels):
+            part = part[cmap]
+            part = kway_greedy_refine(fine, part, k, ub=ub, balance_only=True)
     return part
 
 

@@ -1,0 +1,165 @@
+"""Exporter round-trips and schema validation."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SCHEMA_VERSION,
+    SchemaError,
+    Tracer,
+    export_chrome_trace,
+    export_jsonl,
+    read_jsonl,
+    validate_jsonl,
+)
+
+
+def sample_tracer() -> Tracer:
+    ticks = iter(range(1000))
+    tr = Tracer(wall_clock=lambda: float(next(ticks)))
+    with tr.phase("step", nproc=4):
+        with tr.phase("marking") as sp:
+            tr.advance(0.25)
+            sp.attrs["edges"] = 7
+        with tr.phase("remap", rank=None):
+            tr.event("vm.send", rank=0, detail=[1, 5, 16])
+            tr.advance(0.5)
+    tr.count("messages", 3)
+    tr.gauge("imbalance", 1.08)
+    return tr
+
+
+def test_jsonl_roundtrip(tmp_path):
+    tr = sample_tracer()
+    path = tmp_path / "trace.jsonl"
+    n = export_jsonl(tr, path)
+    assert n == 1 + len(tr.spans) + len(tr.events) + 2
+
+    back = read_jsonl(path)
+    assert len(back.spans) == len(tr.spans)
+    for a, b in zip(tr.spans, back.spans):
+        assert (a.name, a.index, a.parent, a.depth, a.rank) == (
+            b.name, b.index, b.parent, b.depth, b.rank
+        )
+        assert a.v_start == b.v_start and a.v_end == b.v_end
+        assert a.wall_start == b.wall_start and a.wall_end == b.wall_end
+        assert a.attrs == b.attrs
+    assert [e.name for e in back.events] == [e.name for e in tr.events]
+    assert back.counters == tr.counters
+    assert back.gauges == tr.gauges
+    assert back.virtual_now == pytest.approx(tr.virtual_now)
+
+
+def test_validate_accepts_fresh_export(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    export_jsonl(sample_tracer(), path)
+    summary = validate_jsonl(path)
+    assert summary == {"spans": 3, "events": 1, "counters": 1, "gauges": 1}
+
+
+def test_open_spans_are_skipped(tmp_path):
+    tr = Tracer()
+    cm = tr.phase("never-closed")
+    cm.__enter__()
+    path = tmp_path / "trace.jsonl"
+    export_jsonl(tr, path)
+    assert validate_jsonl(path)["spans"] == 0
+
+
+def test_validate_rejects_missing_meta(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"type": "counter", "name": "x", "value": 1}) + "\n")
+    with pytest.raises(SchemaError, match="meta"):
+        validate_jsonl(path)
+
+
+def test_validate_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(SchemaError, match="empty"):
+        validate_jsonl(path)
+
+
+def test_validate_rejects_bad_json(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "meta"\n')
+    with pytest.raises(SchemaError, match="invalid JSON"):
+        validate_jsonl(path)
+
+
+def test_validate_rejects_wrong_schema_version(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    meta = {"type": "meta", "schema": "repro.obs/v0", "spans": 0,
+            "events": 0, "counters": 0, "gauges": 0}
+    path.write_text(json.dumps(meta) + "\n")
+    with pytest.raises(SchemaError, match="schema"):
+        validate_jsonl(path)
+
+
+def test_validate_rejects_count_mismatch(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    meta = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 2,
+            "events": 0, "counters": 0, "gauges": 0}
+    path.write_text(json.dumps(meta) + "\n")
+    with pytest.raises(SchemaError, match="declares 2 spans"):
+        validate_jsonl(path)
+
+
+def test_validate_rejects_backwards_span(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    meta = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 1,
+            "events": 0, "counters": 0, "gauges": 0}
+    span = {"type": "span", "index": 0, "parent": None, "depth": 0,
+            "name": "x", "rank": None, "v_start": 5.0, "v_end": 1.0,
+            "wall_start": 0.0, "wall_end": 1.0, "attrs": {}}
+    path.write_text(json.dumps(meta) + "\n" + json.dumps(span) + "\n")
+    with pytest.raises(SchemaError, match="ends before it starts"):
+        validate_jsonl(path)
+
+
+def test_validate_rejects_dangling_parent(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    meta = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 1,
+            "events": 0, "counters": 0, "gauges": 0}
+    span = {"type": "span", "index": 3, "parent": 99, "depth": 1,
+            "name": "x", "rank": None, "v_start": 0.0, "v_end": 1.0,
+            "wall_start": 0.0, "wall_end": 1.0, "attrs": {}}
+    path.write_text(json.dumps(meta) + "\n" + json.dumps(span) + "\n")
+    with pytest.raises(SchemaError, match="parent 99"):
+        validate_jsonl(path)
+
+
+def test_validate_rejects_missing_field(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    meta = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 0,
+            "events": 1, "counters": 0, "gauges": 0}
+    event = {"type": "event", "v_time": 0.0, "attrs": {}}  # no name
+    path.write_text(json.dumps(meta) + "\n" + json.dumps(event) + "\n")
+    with pytest.raises(SchemaError, match="missing 'name'"):
+        validate_jsonl(path)
+
+
+def test_chrome_trace_structure(tmp_path):
+    tr = sample_tracer()
+    path = tmp_path / "trace.json"
+    n = export_chrome_trace(tr, path)
+    doc = json.loads(path.read_text())
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    events = doc["traceEvents"]
+    slices = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    counters = [e for e in events if e["ph"] == "C"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert n == len(slices) + len(instants) + len(counters)
+    assert {s["name"] for s in slices} == {"step", "marking", "remap"}
+    # timestamps are on the virtual clock in microseconds
+    marking = next(s for s in slices if s["name"] == "marking")
+    assert marking["dur"] == pytest.approx(0.25e6)
+    assert marking["args"]["edges"] == 7
+    # the ranked instant lands on the rank's virtual thread
+    assert instants[0]["tid"] == 1  # rank 0 -> tid 1
+    # thread names declared for framework + every rank seen
+    names = {m["args"]["name"] for m in metas if m["name"] == "thread_name"}
+    assert {"framework", "rank 0"} <= names
+    assert counters[0]["name"] == "messages"

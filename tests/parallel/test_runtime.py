@@ -151,3 +151,103 @@ def test_determinism_across_runs():
     r2 = VirtualMachine(5, IDEAL).run(prog)
     assert r1.returns == r2.returns
     assert r1.clocks == r2.clocks
+
+
+# --- probe cost symmetry and tracing ----------------------------------------
+
+
+def test_probe_charges_setup_on_miss_and_hit():
+    """A probe pays t_setup whether or not a message matches (a real MPI
+    iprobe walks the unexpected-message queue either way)."""
+    from repro.parallel.runtime import ProbeOp
+
+    m = MachineModel(t_setup=1.0, t_word=0.0, t_work=0.0)
+
+    def prog(comm):
+        miss, _ = yield ProbeOp(ANY, ANY)
+        miss2, _ = yield ProbeOp(ANY, ANY)
+        return (miss, miss2)
+
+    res = VirtualMachine(1, m).run(prog)
+    assert res.returns == [(False, False)]
+    assert res.clocks[0] == pytest.approx(2.0)
+
+
+def test_probe_hit_cost_matches_miss_cost():
+    from repro.parallel.runtime import ElapseOp, ProbeOp
+
+    m = MachineModel(t_setup=1.0, t_word=0.0, t_work=0.0)
+
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.send("x", dest=1, tag=3, nwords=0)
+            return None
+        yield ElapseOp(10.0)  # let the message arrive
+        matched, status = yield ProbeOp(0, 3)
+        return (matched, status[0], comm.rank * 0 + 1)
+
+    res = VirtualMachine(2, m).run(prog)
+    assert res.returns[1][:2] == (True, "x")
+    # 10s elapse + exactly one t_setup for the successful probe
+    assert res.clocks[1] == pytest.approx(11.0)
+
+
+def test_probe_emits_trace_event():
+    from repro.parallel.runtime import ElapseOp, ProbeOp
+
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.send("x", dest=1, tag=3, nwords=0)
+            return None
+        matched, _ = yield ProbeOp(0, 3)  # too early: miss
+        yield ElapseOp(10.0)
+        matched2, _ = yield ProbeOp(0, 3)  # hit
+        return (matched, matched2)
+
+    res = VirtualMachine(2, MachineModel(), trace=True).run(prog)
+    assert res.returns[1] == (False, True)
+    probes = [e for e in res.trace if e.kind == "probe"]
+    assert [p.detail for p in probes] == [(0, 3, False), (0, 3, True)]
+    assert all(p.rank == 1 for p in probes)
+    assert probes[0].time < probes[1].time
+
+
+# --- deadlock diagnostics ----------------------------------------------------
+
+
+def test_deadlock_reports_pending_recv_and_mailbox():
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.send("stray", dest=1, tag=9, nwords=0)
+            _ = yield from comm.recv(source=1, tag=1)  # never satisfied
+        else:
+            _ = yield from comm.recv(source=0, tag=5)  # wrong tag waiting
+
+    with pytest.raises(DeadlockError) as e:
+        VirtualMachine(2).run(prog)
+    msg = str(e.value)
+    assert "ranks [0, 1] are blocked" in msg
+    assert "rank 0: waiting on recv(source=1, tag=1); mailbox empty" in msg
+    assert "rank 1: waiting on recv(source=0, tag=5)" in msg
+    assert "(source=0, tag=9)×1" in msg  # the stray message is summarised
+    # structured diagnostics for tooling
+    assert e.value.blocked == [
+        (0, (1, 1), []),
+        (1, (0, 5), [(0, 9, 1)]),
+    ]
+
+
+def test_deadlock_formats_wildcards_and_counts():
+    def prog(comm):
+        if comm.rank == 0:
+            for _ in range(3):
+                yield from comm.send("m", dest=1, tag=7, nwords=0)
+            return None
+        _ = yield from comm.recv(source=ANY, tag=2)
+
+    with pytest.raises(DeadlockError) as e:
+        VirtualMachine(2).run(prog)
+    msg = str(e.value)
+    assert "rank 1: waiting on recv(source=ANY, tag=2)" in msg
+    assert "mailbox holds 3 unmatched: (source=0, tag=7)×3" in msg
+    assert e.value.blocked == [(1, (ANY, 2), [(0, 7, 3)])]
