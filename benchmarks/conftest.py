@@ -8,11 +8,11 @@ paper-scale).  Run with ``-s`` to see the regenerated rows/series.
 """
 
 import os
-import sys
 
 import pytest
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+# src/ comes from pyproject.toml's pythonpath = ["src"] — same path setup
+# as the unit tests and scripts/_bootstrap.py, no per-conftest sys.path hack
 
 RESOLUTION = int(os.environ.get("REPRO_BENCH_RESOLUTION", "6"))
 

@@ -1,5 +1,7 @@
-"""Make the in-tree sources importable when running pytest from the repo root."""
-import os
-import sys
+"""Root conftest.
 
-sys.path.insert(0, os.path.join(os.path.dirname(__file__), "src"))
+``src/`` is put on ``sys.path`` by ``pythonpath = ["src"]`` in
+``pyproject.toml`` — the single source of truth for test path setup
+(scripts use ``scripts/_bootstrap.py``).  This file only needs to exist
+so pytest anchors its rootdir here when invoked from subdirectories.
+"""

@@ -1,0 +1,14 @@
+"""Shared path setup for repo scripts: make ``src/`` importable.
+
+Import this before any ``repro`` import in a script; pytest runs get the
+same path via ``pythonpath = ["src"]`` in ``pyproject.toml``.
+"""
+
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Run the tracked benchmark suite and write/check ``BENCH_results.json``.
+
+Runs the registered paper-figure/table workloads (see
+``repro.bench.registry``) with pinned seeds, measuring host wall seconds
+per bench and the modelled virtual seconds per phase from tracer spans,
+then writes a schema-validated ``repro.bench/v1`` document.
+
+Typical uses::
+
+    python scripts/bench_suite.py                      # full suite, res 6
+    python scripts/bench_suite.py --quick              # CI subset, res 4
+    python scripts/bench_suite.py --quick \
+        --baseline BENCH_results.json                  # gate: fail on >15%
+    python scripts/bench_suite.py --with-reference     # record speedups
+
+``--baseline`` compares the matching profile: wall time may not regress
+beyond ``--max-regress`` (default 1.15), and the virtual-second series
+must match the baseline exactly.  ``REPRO_BENCH_RESOLUTION`` overrides
+the default resolution (full: 6, quick: 4), as does ``--resolution``.
+
+Exit status: 0 on success, 1 on regression/divergence, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+import _bootstrap  # noqa: F401  (puts src/ on sys.path)
+
+from repro.bench import (
+    BENCHES,
+    QUICK_BENCHES,
+    BenchComparisonError,
+    SchemaError,
+    compare_runs,
+    merge_results,
+    run_suite,
+    validate_results,
+)
+
+DEFAULT_OUT = os.path.join(_bootstrap.REPO, "BENCH_results.json")
+
+
+def _load(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    validate_results(doc)
+    return doc
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the tracked benchmark suite."
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI subset {QUICK_BENCHES} at resolution 4",
+    )
+    parser.add_argument(
+        "--resolution",
+        type=int,
+        default=None,
+        help="mesh resolution (default: REPRO_BENCH_RESOLUTION or 6; quick: 4)",
+    )
+    parser.add_argument(
+        "--benches",
+        default=None,
+        help="comma-separated bench names (default: profile's full set)",
+    )
+    parser.add_argument(
+        "--out",
+        default=DEFAULT_OUT,
+        help="results file to write; an existing file's other profile is kept",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="do not write --out"
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline BENCH_results.json to compare the run against",
+    )
+    parser.add_argument(
+        "--max-regress",
+        type=float,
+        default=1.15,
+        help="allowed wall-time factor vs baseline (default 1.15)",
+    )
+    parser.add_argument(
+        "--with-reference",
+        action="store_true",
+        help="also time the reference kernels and record per-bench speedups",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="best-of-N wall timing per bench (default: 3 for --quick, else 1)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered benches and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, bench in BENCHES.items():
+            print(f"{name:18s} {bench.description}")
+        return 0
+
+    profile = "quick" if args.quick else "full"
+    resolution = args.resolution
+    if resolution is None:
+        env = os.environ.get("REPRO_BENCH_RESOLUTION")
+        if args.quick:
+            resolution = 4
+        elif env:
+            resolution = int(env)
+        else:
+            resolution = 6
+    if args.benches:
+        names = tuple(n.strip() for n in args.benches.split(",") if n.strip())
+    else:
+        names = QUICK_BENCHES if args.quick else tuple(BENCHES)
+
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 1)
+
+    print(f"profile={profile} resolution={resolution} benches={','.join(names)}")
+    try:
+        doc = run_suite(
+            names,
+            resolution,
+            profile=profile,
+            with_reference=args.with_reference,
+            repeats=repeats,
+            progress=lambda msg: print(f"  {msg}", flush=True),
+        )
+    except (KeyError, BenchComparisonError) as exc:
+        print(f"bench_suite: FAIL: {exc}", file=sys.stderr)
+        return 1
+
+    if args.baseline:
+        try:
+            baseline = _load(args.baseline)
+        except (OSError, json.JSONDecodeError, SchemaError) as exc:
+            print(f"bench_suite: bad baseline: {exc}", file=sys.stderr)
+            return 2
+        failures = compare_runs(doc, baseline, profile, args.max_regress)
+        for f in failures:
+            print(f"bench_suite: FAIL: {f}", file=sys.stderr)
+        if failures:
+            return 1
+        print(f"baseline check OK (max-regress {args.max_regress:.2f}x)")
+
+    if not args.no_write:
+        existing = None
+        if os.path.exists(args.out):
+            try:
+                existing = _load(args.out)
+            except (json.JSONDecodeError, SchemaError) as exc:
+                print(
+                    f"bench_suite: replacing unreadable {args.out}: {exc}",
+                    file=sys.stderr,
+                )
+        merged = merge_results(existing, doc)
+        with open(args.out, "w") as fh:
+            json.dump(merged, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

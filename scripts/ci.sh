@@ -1,0 +1,13 @@
+#!/bin/sh
+# CI entry point: unit tests, trace smoke check, quick benchmark gate.
+#
+# The bench gate runs the quick profile (resolution 4, subset) and fails
+# on schema violations, >15% wall-time regression vs the committed
+# BENCH_results.json, or any drift in the virtual-second series.
+set -e
+cd "$(dirname "$0")/.."
+
+python -m pytest -x -q
+python scripts/smoke_trace.py
+python scripts/bench_suite.py --quick --baseline BENCH_results.json --no-write
+echo "ci: OK"

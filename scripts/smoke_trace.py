@@ -19,8 +19,10 @@ import subprocess
 import sys
 import tempfile
 
-REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SRC = os.path.join(REPO, "src")
+import _bootstrap  # noqa: F401  (puts src/ on sys.path)
+
+REPO = _bootstrap.REPO
+SRC = _bootstrap.SRC
 
 
 def fail(msg: str) -> "int":
@@ -29,7 +31,6 @@ def fail(msg: str) -> "int":
 
 
 def main() -> int:
-    sys.path.insert(0, SRC)
     from repro.obs import SchemaError, read_jsonl, validate_jsonl
 
     env = dict(os.environ)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import reference_enabled
 from repro.mesh.tetmesh import TetMesh
 from repro.parallel.ledger import CostLedger
 
@@ -177,8 +178,11 @@ def propagate_markings(
     if model_parallel:
         shared = shared_edge_mask(mesh, part)
         elems_per_rank = np.bincount(part, minlength=ledger.nranks)
-        # which partitions touch each shared edge (for message accounting)
+        # which partitions touch each shared edge (for message accounting);
+        # the ordered rank-pair table is hoisted here so each round's charge
+        # is a bincount instead of a Python loop over edges × SPL pairs
         edge_ranks = _edge_rank_incidence(mesh, part)
+        edge_rank_pairs = None if reference_enabled() else _edge_rank_pairs(edge_ranks)
 
     patterns = element_patterns(mesh, edge_marked)
     iterations = 0
@@ -195,7 +199,7 @@ def propagate_markings(
             # (3D_TAG's incident-edge lists make that lookup O(1))
             ledger.add_work_all(touched_per_rank)
             newly = new_marked & ~edge_marked & shared
-            _charge_shared_exchange(ledger, edge_ranks, newly)
+            _charge_shared_exchange(ledger, edge_ranks, newly, edge_rank_pairs)
             ledger.barrier()
             newly_any = new_marked & ~edge_marked
             touch = newly_any[mesh.elem2edge].any(axis=1)
@@ -225,17 +229,57 @@ def _edge_rank_incidence(mesh: TetMesh, part: np.ndarray):
     return e_sorted[keep], r_sorted[keep]
 
 
-def _charge_shared_exchange(ledger: CostLedger, edge_ranks, newly: np.ndarray):
+def _edge_rank_pairs(edge_ranks):
+    """Ordered distinct rank pairs (src, dst, edge) of every edge's SPL.
+
+    Built once per :func:`propagate_markings` call; each round's exchange
+    charge then reduces to one ``bincount`` over the newly-marked subset.
+    """
+    e_ids, r_ids = edge_ranks
+    n = e_ids.shape[0]
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return empty, empty, empty
+    starts = np.flatnonzero(np.r_[True, e_ids[1:] != e_ids[:-1]])
+    counts = np.diff(np.r_[starts, n])
+    npair = counts * (counts - 1)
+    total = int(npair.sum())
+    if total == 0:
+        return empty, empty, empty
+    seg = np.repeat(np.arange(starts.shape[0]), npair)
+    offsets = np.cumsum(npair) - npair
+    p = np.arange(total) - offsets[seg]
+    km1 = (counts - 1)[seg]
+    a = p // km1
+    b = p % km1
+    b = b + (b >= a)  # skip the diagonal: b ranges over positions != a
+    src = r_ids[starts[seg] + a]
+    dst = r_ids[starts[seg] + b]
+    pair_edge = e_ids[starts[seg]]
+    return src, dst, pair_edge
+
+
+def _charge_shared_exchange(
+    ledger: CostLedger, edge_ranks, newly: np.ndarray, pairs=None
+):
     """Charge one message per (owner, neighbour) partition pair carrying the
     newly-marked shared edges between them (1 word per edge id)."""
     e_ids, r_ids = edge_ranks
     sel = newly[e_ids]
     if not sel.any():
         return
+    nr = ledger.nranks
+    if pairs is not None and not reference_enabled():
+        src, dst, pair_edge = pairs
+        psel = newly[pair_edge]
+        volume = np.bincount(
+            src[psel] * nr + dst[psel], minlength=nr * nr
+        ).reshape(nr, nr)
+        ledger.add_exchange(volume)
+        return
     es, rs = e_ids[sel], r_ids[sel]
     # count newly-marked shared edges per rank pair: every rank touching the
     # edge sends its local copy's id to every other rank in the edge's SPL
-    nr = ledger.nranks
     # group by edge: ranks of each edge are contiguous in es/rs
     starts = np.flatnonzero(np.r_[True, es[1:] != es[:-1]])
     ends = np.r_[starts[1:], es.shape[0]]

@@ -26,8 +26,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import reference_enabled
 from repro.mesh.tetmesh import TetMesh
-from repro.mesh.topology import FACE_EDGE_MASKS, FACE_EDGES, LOCAL_FACES, OPPOSITE_EDGE
+from repro.mesh.topology import (
+    FACE_EDGE_MASKS,
+    FACE_EDGES,
+    LOCAL_EDGES,
+    LOCAL_FACES,
+    OPPOSITE_EDGE,
+)
 from repro.parallel.ledger import CostLedger
 
 from .marking import MarkingResult
@@ -44,6 +51,71 @@ SUBDIV_WORK_PER_CHILD = 30.0
 # edges (d, OPPOSITE_EDGE[d]), the other four midpoints in cyclic order such
 # that consecutive entries share a parent vertex (see tests for the check).
 _DIAG_CYCLE = {0: (1, 2, 4, 3), 1: (0, 2, 5, 3), 2: (0, 1, 5, 4)}
+
+
+# --- precomputed child index tables ----------------------------------------
+# Each table row is one child tet, with entries indexing the 10-wide
+# per-element vertex row [v0, v1, v2, v3, m0, ..., m5] (parent corners then
+# edge midpoints).  Child assembly for a whole pattern group is then a
+# single fancy-index gather instead of per-face/per-diagonal column stacks.
+
+
+def _build_child_tables() -> list[tuple[int, np.ndarray]]:
+    tables: list[tuple[int, np.ndarray]] = []
+    # 1:2 — the marked edge (a, b) is bisected: children swap one endpoint
+    for le in range(6):
+        a, b = (int(x) for x in LOCAL_EDGES[le])
+        c1 = list(range(4))
+        c1[b] = 4 + le
+        c2 = list(range(4))
+        c2[a] = 4 + le
+        tables.append((1 << le, np.array([c1, c2], dtype=np.int64)))
+    # 1:4 — marked face (A, B, C) with apex D: three corner tets + medial
+    for f in range(4):
+        A, B, C = (int(x) for x in LOCAL_FACES[f])
+        D = (set(range(4)) - {A, B, C}).pop()
+        eAB, eAC, eBC = (4 + int(e) for e in FACE_EDGES[f])
+        tables.append(
+            (
+                int(FACE_EDGE_MASKS[f]),
+                np.array(
+                    [
+                        [A, eAB, eAC, D],
+                        [B, eAB, eBC, D],
+                        [C, eAC, eBC, D],
+                        [eAB, eBC, eAC, D],
+                    ],
+                    dtype=np.int64,
+                ),
+            )
+        )
+    return tables
+
+
+_CHILD_TABLES = _build_child_tables()
+
+#: 1:8 corner tets (independent of the octahedron diagonal choice).
+_CORNER_TABLE = np.array(
+    [
+        [c, 4 + e0, 4 + e1, 4 + e2]
+        for c, (e0, e1, e2) in enumerate(
+            [(0, 1, 2), (0, 3, 4), (1, 3, 5), (2, 4, 5)]
+        )
+    ],
+    dtype=np.int64,
+)
+
+#: 1:8 octahedron tets for each diagonal choice d.
+_OCTA_TABLES = {
+    d: np.array(
+        [
+            [4 + d, 4 + int(OPPOSITE_EDGE[d]), 4 + cyc[k], 4 + cyc[(k + 1) % 4]]
+            for k in range(4)
+        ],
+        dtype=np.int64,
+    )
+    for d, cyc in _DIAG_CYCLE.items()
+}
 
 
 @dataclass(frozen=True)
@@ -121,95 +193,10 @@ def subdivide(
     ev = mesh.elems  # (ne, 4)
     em = midpoint_of[mesh.elem2edge]  # (ne, 6), -1 where edge unbisected
 
-    chunks: list[np.ndarray] = []  # child vertex quadruples
-    parents: list[np.ndarray] = []
-
-    # unrefined elements pass through
-    keep = patterns == 0
-    if keep.any():
-        chunks.append(ev[keep])
-        parents.append(np.flatnonzero(keep))
-
-    # 1:2 — one marked edge e=(a,b): children swap one endpoint for m
-    from repro.mesh.topology import LOCAL_EDGES
-
-    for le in range(6):
-        sel = patterns == (1 << le)
-        if not sel.any():
-            continue
-        idx = np.flatnonzero(sel)
-        a, b = LOCAL_EDGES[le]
-        m = em[idx, le]
-        c1 = ev[idx].copy()
-        c1[:, b] = m
-        c2 = ev[idx].copy()
-        c2[:, a] = m
-        chunks.append(np.concatenate([c1, c2]))
-        parents.append(np.tile(idx, 2))
-
-    # 1:4 — one marked face (A,B,C), apex D
-    for f in range(4):
-        sel = patterns == int(FACE_EDGE_MASKS[f])
-        if not sel.any():
-            continue
-        idx = np.flatnonzero(sel)
-        A, B, C = LOCAL_FACES[f]
-        D = (set(range(4)) - {int(A), int(B), int(C)}).pop()
-        eAB, eAC, eBC = FACE_EDGES[f]
-        vA, vB, vC, vD = ev[idx, A], ev[idx, B], ev[idx, C], ev[idx, D]
-        mAB, mAC, mBC = em[idx, eAB], em[idx, eAC], em[idx, eBC]
-        kids = np.concatenate(
-            [
-                np.column_stack([vA, mAB, mAC, vD]),
-                np.column_stack([vB, mAB, mBC, vD]),
-                np.column_stack([vC, mAC, mBC, vD]),
-                np.column_stack([mAB, mBC, mAC, vD]),
-            ]
-        )
-        chunks.append(kids)
-        parents.append(np.tile(idx, 4))
-
-    # 1:8 — isotropic; split the inner octahedron on its shortest diagonal
-    sel8 = patterns == 0b111111
-    if sel8.any():
-        idx8 = np.flatnonzero(sel8)
-        mids = em[idx8]  # (n8, 6), all valid
-        dlen = np.empty((idx8.shape[0], 3))
-        for d in range(3):
-            o = OPPOSITE_EDGE[d]
-            dlen[:, d] = np.linalg.norm(
-                new_coords[mids[:, d]] - new_coords[mids[:, o]], axis=1
-            )
-        diag = np.argmin(dlen, axis=1)
-        # four corner tets (same for every diagonal choice)
-        corner_local_edges = [(0, 1, 2), (0, 3, 4), (1, 3, 5), (2, 4, 5)]
-        kids = [
-            np.column_stack(
-                [ev[idx8, c], mids[:, e0], mids[:, e1], mids[:, e2]]
-            )
-            for c, (e0, e1, e2) in enumerate(corner_local_edges)
-        ]
-        chunks.append(np.concatenate(kids))
-        parents.append(np.tile(idx8, 4))
-        for d in range(3):
-            seld = diag == d
-            if not seld.any():
-                continue
-            idxd = idx8[seld]
-            md = mids[seld]
-            o = OPPOSITE_EDGE[d]
-            cyc = _DIAG_CYCLE[d]
-            oct_kids = [
-                np.column_stack(
-                    [md[:, d], md[:, o], md[:, cyc[k]], md[:, cyc[(k + 1) % 4]]]
-                )
-                for k in range(4)
-            ]
-            chunks.append(np.concatenate(oct_kids))
-            parents.append(np.tile(idxd, 4))
-
-    new_elems = np.concatenate(chunks)
-    parent = np.concatenate(parents)
+    if reference_enabled():
+        new_elems, parent = _assemble_children_reference(ev, em, patterns, new_coords)
+    else:
+        new_elems, parent = _assemble_children(ev, em, patterns, new_coords)
     # group children contiguously by parent element (stable order within)
     order = np.argsort(parent, kind="stable")
     new_elems = new_elems[order]
@@ -275,3 +262,153 @@ def subdivide(
         edge_survivor=edge_survivor,
         solution=new_solution,
     )
+
+
+def _shortest_diagonals(
+    mids: np.ndarray, new_coords: np.ndarray
+) -> np.ndarray:
+    """Per-element index d of the shortest octahedron diagonal (d, opposite)."""
+    dlen = np.empty((mids.shape[0], 3))
+    for d in range(3):
+        o = OPPOSITE_EDGE[d]
+        dlen[:, d] = np.linalg.norm(
+            new_coords[mids[:, d]] - new_coords[mids[:, o]], axis=1
+        )
+    return np.argmin(dlen, axis=1)
+
+
+def _assemble_children(
+    ev: np.ndarray,
+    em: np.ndarray,
+    patterns: np.ndarray,
+    new_coords: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build (child quadruples, parent ids) via the precomputed index tables.
+
+    ``vm`` concatenates parent corners and edge midpoints into one 10-wide
+    row per element, so every pattern group becomes a single gather
+    ``vm[idx][:, table]``; transposing to (child, element, 4) before the
+    reshape reproduces the reference's child-major concatenation order.
+    """
+    vm = np.concatenate([ev, em], axis=1)  # (ne, 10)
+    # seed with empties so meshes with no elements still assemble
+    chunks: list[np.ndarray] = [np.empty((0, 4), dtype=np.int64)]
+    parents: list[np.ndarray] = [np.empty(0, dtype=np.int64)]
+
+    keep = patterns == 0
+    if keep.any():
+        chunks.append(ev[keep])
+        parents.append(np.flatnonzero(keep))
+
+    for pattern, table in _CHILD_TABLES:  # 6× 1:2 then 4× 1:4
+        idx = np.flatnonzero(patterns == pattern)
+        if not idx.size:
+            continue
+        kids = vm[idx][:, table]  # (nidx, nchild, 4)
+        chunks.append(kids.transpose(1, 0, 2).reshape(-1, 4))
+        parents.append(np.tile(idx, table.shape[0]))
+
+    idx8 = np.flatnonzero(patterns == 0b111111)
+    if idx8.size:
+        vm8 = vm[idx8]
+        chunks.append(vm8[:, _CORNER_TABLE].transpose(1, 0, 2).reshape(-1, 4))
+        parents.append(np.tile(idx8, 4))
+        diag = _shortest_diagonals(em[idx8], new_coords)
+        for d in range(3):
+            seld = diag == d
+            if not seld.any():
+                continue
+            kids = vm8[seld][:, _OCTA_TABLES[d]]
+            chunks.append(kids.transpose(1, 0, 2).reshape(-1, 4))
+            parents.append(np.tile(idx8[seld], 4))
+
+    return np.concatenate(chunks), np.concatenate(parents)
+
+
+def _assemble_children_reference(
+    ev: np.ndarray,
+    em: np.ndarray,
+    patterns: np.ndarray,
+    new_coords: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reference assembly: per-pattern column stacks (one array op per child)."""
+    chunks: list[np.ndarray] = [np.empty((0, 4), dtype=np.int64)]
+    parents: list[np.ndarray] = [np.empty(0, dtype=np.int64)]
+
+    # unrefined elements pass through
+    keep = patterns == 0
+    if keep.any():
+        chunks.append(ev[keep])
+        parents.append(np.flatnonzero(keep))
+
+    # 1:2 — one marked edge e=(a,b): children swap one endpoint for m
+    for le in range(6):
+        sel = patterns == (1 << le)
+        if not sel.any():
+            continue
+        idx = np.flatnonzero(sel)
+        a, b = LOCAL_EDGES[le]
+        m = em[idx, le]
+        c1 = ev[idx].copy()
+        c1[:, b] = m
+        c2 = ev[idx].copy()
+        c2[:, a] = m
+        chunks.append(np.concatenate([c1, c2]))
+        parents.append(np.tile(idx, 2))
+
+    # 1:4 — one marked face (A,B,C), apex D
+    for f in range(4):
+        sel = patterns == int(FACE_EDGE_MASKS[f])
+        if not sel.any():
+            continue
+        idx = np.flatnonzero(sel)
+        A, B, C = LOCAL_FACES[f]
+        D = (set(range(4)) - {int(A), int(B), int(C)}).pop()
+        eAB, eAC, eBC = FACE_EDGES[f]
+        vA, vB, vC, vD = ev[idx, A], ev[idx, B], ev[idx, C], ev[idx, D]
+        mAB, mAC, mBC = em[idx, eAB], em[idx, eAC], em[idx, eBC]
+        kids = np.concatenate(
+            [
+                np.column_stack([vA, mAB, mAC, vD]),
+                np.column_stack([vB, mAB, mBC, vD]),
+                np.column_stack([vC, mAC, mBC, vD]),
+                np.column_stack([mAB, mBC, mAC, vD]),
+            ]
+        )
+        chunks.append(kids)
+        parents.append(np.tile(idx, 4))
+
+    # 1:8 — isotropic; split the inner octahedron on its shortest diagonal
+    sel8 = patterns == 0b111111
+    if sel8.any():
+        idx8 = np.flatnonzero(sel8)
+        mids = em[idx8]  # (n8, 6), all valid
+        diag = _shortest_diagonals(mids, new_coords)
+        # four corner tets (same for every diagonal choice)
+        corner_local_edges = [(0, 1, 2), (0, 3, 4), (1, 3, 5), (2, 4, 5)]
+        kids = [
+            np.column_stack(
+                [ev[idx8, c], mids[:, e0], mids[:, e1], mids[:, e2]]
+            )
+            for c, (e0, e1, e2) in enumerate(corner_local_edges)
+        ]
+        chunks.append(np.concatenate(kids))
+        parents.append(np.tile(idx8, 4))
+        for d in range(3):
+            seld = diag == d
+            if not seld.any():
+                continue
+            idxd = idx8[seld]
+            md = mids[seld]
+            o = OPPOSITE_EDGE[d]
+            cyc = _DIAG_CYCLE[d]
+            oct_kids = [
+                np.column_stack(
+                    [md[:, d], md[:, o], md[:, cyc[k]], md[:, cyc[(k + 1) % 4]]]
+                )
+                for k in range(4)
+            ]
+            chunks.append(np.concatenate(oct_kids))
+            parents.append(np.tile(idxd, 4))
+
+    return np.concatenate(chunks), np.concatenate(parents)

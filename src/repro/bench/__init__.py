@@ -1,0 +1,37 @@
+"""Tracked wall/virtual benchmark suite for the adapt→balance cycle.
+
+The suite (:mod:`repro.bench.suite`) reruns the paper's figure/table
+workloads with pinned seeds at a fixed ``REPRO_BENCH_RESOLUTION``,
+measuring **host wall seconds** around each bench and collecting the
+**modelled virtual seconds** per phase from :mod:`repro.obs` tracer
+spans.  Results are written to a schema-validated ``BENCH_results.json``
+(``repro.bench/v1``, :mod:`repro.bench.schema`) so wall-time regressions
+are caught against a committed baseline while the virtual-time series —
+the paper's reported numbers — are pinned exactly.
+
+``scripts/bench_suite.py`` is the CLI front end.
+"""
+
+from .registry import BENCHES, QUICK_BENCHES, Bench
+from .schema import SCHEMA_ID, SchemaError, validate_results
+from .suite import (
+    BenchComparisonError,
+    compare_runs,
+    merge_results,
+    run_bench,
+    run_suite,
+)
+
+__all__ = [
+    "BENCHES",
+    "QUICK_BENCHES",
+    "Bench",
+    "BenchComparisonError",
+    "SCHEMA_ID",
+    "SchemaError",
+    "compare_runs",
+    "merge_results",
+    "run_bench",
+    "run_suite",
+    "validate_results",
+]

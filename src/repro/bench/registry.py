@@ -1,0 +1,140 @@
+"""The benchmark registry: one entry per tracked workload.
+
+Each bench is a function of the mesh ``resolution`` that runs a complete
+figure/table/extension workload (seeds pinned inside the experiment
+code) and returns a small dict of JSON-scalar ``extra`` metadata.  Wall
+timing, tracer installation, and sweep-cache clearing are the suite's
+job (:mod:`repro.bench.suite`) — registry functions only do the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Bench", "BENCHES", "QUICK_BENCHES"]
+
+
+@dataclass(frozen=True)
+class Bench:
+    name: str
+    description: str
+    fn: Callable[[int], dict]
+
+
+def _bench_fig4(resolution: int) -> dict:
+    from repro.experiments.figures import fig4_speedup
+
+    data = fig4_speedup(resolution)
+    return {"cases": len(data)}
+
+
+def _bench_fig5(resolution: int) -> dict:
+    from repro.experiments.figures import fig5_remap_times
+
+    data = fig5_remap_times(resolution)
+    return {"cases": len(data)}
+
+
+def _bench_fig6(resolution: int) -> dict:
+    from repro.experiments.figures import fig6_anatomy
+
+    data = fig6_anatomy(resolution)
+    # one stable scalar per phase so drift in the anatomy itself is visible
+    return {
+        f"real2_{phase}_p8": series[8]
+        for phase, series in data["Real_2"].items()
+    }
+
+
+def _bench_fig7(resolution: int) -> dict:
+    from repro.experiments.figures import fig7_max_improvement
+
+    data = fig7_max_improvement(resolution)
+    return {"cases": len(data)}
+
+
+def _bench_fig8(resolution: int) -> dict:
+    from repro.experiments.figures import fig8_actual_improvement
+
+    data = fig8_actual_improvement(resolution)
+    return {"cases": len(data)}
+
+
+def _bench_table1(resolution: int) -> dict:
+    from repro.experiments.sweep import case_for
+    from repro.experiments.table1 import grid_sizes
+
+    rows = grid_sizes(case_for(resolution))
+    return {
+        "initial_elements": rows["Initial"]["elements"],
+        "real3_elements": rows["Real_3"]["elements"],
+    }
+
+
+def _bench_table2(resolution: int) -> dict:
+    from repro.experiments.sweep import case_for
+    from repro.experiments.table2 import mapper_comparison
+
+    rows = mapper_comparison(case_for(resolution))
+    return {"rows": len(rows)}
+
+
+def _bench_ext_vm_vs_ledger(resolution: int) -> dict:
+    from repro.adapt.marking import propagate_markings
+    from repro.dist import decompose, parallel_mark
+    from repro.experiments.sweep import case_for
+    from repro.parallel import CostLedger, SP2_1997
+    from repro.partition import Graph, multilevel_kway
+
+    case = case_for(resolution)
+    mesh = case.mesh
+    g = Graph.from_pairs(mesh.dual_pairs, mesh.ne)
+    part = multilevel_kway(g, 8, seed=0)
+    locals_ = decompose(mesh, part, 8)
+    marks = case.marking_mask("Real_2")
+    ledger = CostLedger(8, SP2_1997)
+    propagate_markings(mesh, marks, part=part, ledger=ledger)
+    vm_result = parallel_mark(mesh, locals_, marks)
+    return {
+        "ledger_virtual_seconds": float(ledger.elapsed),
+        "vm_virtual_seconds": float(vm_result.time_seconds),
+    }
+
+
+def _bench_ext_partitioners(resolution: int) -> dict:
+    from repro.core.dualgraph import DualGraph
+    from repro.experiments.sweep import case_for
+    from repro.partition import edgecut, multilevel_kway
+
+    dual = DualGraph(case_for(resolution).mesh)
+    g = dual.comp_graph()
+    part = multilevel_kway(g, 8, seed=0)
+    return {"multilevel_edgecut_p8": int(edgecut(g, part))}
+
+
+BENCHES: dict[str, Bench] = {
+    b.name: b
+    for b in (
+        Bench("fig4", "Fig. 4 — adaptor speedup, remap after vs before", _bench_fig4),
+        Bench("fig5", "Fig. 5 — remapping seconds, after vs before", _bench_fig5),
+        Bench("fig6", "Fig. 6 — anatomy of execution time (span-derived)", _bench_fig6),
+        Bench("fig7", "Fig. 7 — maximum load-balancing improvement", _bench_fig7),
+        Bench("fig8", "Fig. 8 — measured solver-load improvement", _bench_fig8),
+        Bench("table1", "Table 1 — grid sizes per strategy", _bench_table1),
+        Bench("table2", "Table 2 — processor reassignment mappers", _bench_table2),
+        Bench(
+            "ext_vm_vs_ledger",
+            "Extension — VM vs ledger marking-time agreement",
+            _bench_ext_vm_vs_ledger,
+        ),
+        Bench(
+            "ext_partitioners",
+            "Extension — multilevel k-way partition of the dual graph",
+            _bench_ext_partitioners,
+        ),
+    )
+}
+
+#: The CI subset: one sweep-driven bench, one adaptor bench, one VM bench.
+QUICK_BENCHES = ("fig6", "table1", "ext_vm_vs_ledger")

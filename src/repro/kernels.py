@@ -1,0 +1,66 @@
+"""Switch between optimized and reference kernel implementations.
+
+Several hot paths (FM refinement, heavy-edge matching, the VM mailbox,
+child-element assembly, solver scatter-adds) ship two implementations:
+an optimized one used by default, and the straightforward *reference*
+one they must match bit-for-bit.  The equivalence tests run both and
+compare outputs; the benchmark suite can time the reference path with
+``scripts/bench_suite.py --with-reference`` to record speedups.
+
+Selection is ambient: the ``REPRO_REFERENCE_KERNELS`` environment
+variable (any value other than empty/``0``) or the
+:func:`reference_kernels` context manager, which takes precedence and
+restores the previous state on exit.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["reference_enabled", "reference_kernels", "scatter_add_rows"]
+
+_FORCE: bool | None = None
+
+
+def reference_enabled() -> bool:
+    """True when the reference (unoptimized) kernels should run."""
+    if _FORCE is not None:
+        return _FORCE
+    return os.environ.get("REPRO_REFERENCE_KERNELS", "0") not in ("", "0")
+
+
+@contextmanager
+def reference_kernels(enabled: bool = True):
+    """Force reference (or optimized, with ``enabled=False``) kernels."""
+    global _FORCE
+    prev = _FORCE
+    _FORCE = bool(enabled)
+    try:
+        yield
+    finally:
+        _FORCE = prev
+
+
+def scatter_add_rows(
+    index: np.ndarray, values: np.ndarray, nrows: int
+) -> np.ndarray:
+    """Row-wise scatter-add: ``out[index[i]] += values[i]`` from zeros.
+
+    Equivalent to ``np.add.at`` on a zero array, but implemented as one
+    ``np.bincount`` pass per trailing column.  Both accumulate strictly in
+    input order, so the float additions happen in the same sequence and
+    the results are bit-identical — while bincount runs at C speed where
+    ``add.at``'s buffered inner loop does not.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape[0] == 0:  # reshape(0, -1) cannot infer the -1
+        return np.zeros((nrows,) + values.shape[1:], dtype=np.float64)
+    out = np.empty((nrows,) + values.shape[1:], dtype=np.float64)
+    flat = values.reshape(values.shape[0], -1)
+    oflat = out.reshape(nrows, -1)
+    for c in range(flat.shape[1]):
+        oflat[:, c] = np.bincount(index, weights=flat[:, c], minlength=nrows)
+    return out

@@ -17,8 +17,11 @@ ties are broken by rank id, so runs are fully deterministic.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
+
+from repro.kernels import reference_enabled
 
 from .machine import MachineModel, SP2_1997, word_count
 
@@ -87,6 +90,108 @@ class _Message:
     seq: int
 
 
+class _IndexedMailbox:
+    """Unmatched messages bucketed by ``(source, tag)``.
+
+    Sends append in global ``seq`` order, so each bucket is a FIFO whose
+    head is its minimum-``seq`` message; a sender's clock is monotone, so
+    ``arrival`` is also non-decreasing along a bucket and the head alone
+    decides an arrival-time filter for the whole bucket.  Matching a recv
+    or probe therefore inspects only the heads of the (few) buckets a
+    wildcard can reach — never the whole mailbox.
+    """
+
+    __slots__ = ("_by_key", "_count")
+
+    def __init__(self):
+        self._by_key: dict[tuple[int, int], deque[_Message]] = {}
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def add(self, msg: _Message) -> None:
+        self._by_key.setdefault((msg.source, msg.tag), deque()).append(msg)
+        self._count += 1
+
+    def _matching_keys(self, source: int, tag: int):
+        if source != ANY and tag != ANY:
+            key = (source, tag)
+            return (key,) if key in self._by_key else ()
+        if source == ANY and tag == ANY:
+            return list(self._by_key)
+        if source == ANY:
+            return [k for k in self._by_key if k[1] == tag]
+        return [k for k in self._by_key if k[0] == source]
+
+    def has_match(self, source: int, tag: int) -> bool:
+        return bool(self._matching_keys(source, tag))
+
+    def pop_match(
+        self, source: int, tag: int, max_arrival: float | None = None
+    ) -> _Message | None:
+        """Remove and return the oldest (min-seq) matching message."""
+        best_key = None
+        best_seq = 0
+        for key in self._matching_keys(source, tag):
+            head = self._by_key[key][0]
+            if max_arrival is not None and head.arrival > max_arrival:
+                continue
+            if best_key is None or head.seq < best_seq:
+                best_key, best_seq = key, head.seq
+        if best_key is None:
+            return None
+        bucket = self._by_key[best_key]
+        msg = bucket.popleft()
+        if not bucket:
+            del self._by_key[best_key]
+        self._count -= 1
+        return msg
+
+    def messages(self):
+        for bucket in self._by_key.values():
+            yield from bucket
+
+
+class _ListMailbox:
+    """Reference mailbox: one list, linear scan on every recv/probe."""
+
+    __slots__ = ("_msgs",)
+
+    def __init__(self):
+        self._msgs: list[_Message] = []
+
+    def __len__(self) -> int:
+        return len(self._msgs)
+
+    def add(self, msg: _Message) -> None:
+        self._msgs.append(msg)
+
+    def has_match(self, source: int, tag: int) -> bool:
+        return any(
+            (source in (ANY, m.source)) and (tag in (ANY, m.tag))
+            for m in self._msgs
+        )
+
+    def pop_match(
+        self, source: int, tag: int, max_arrival: float | None = None
+    ) -> _Message | None:
+        best = None
+        for m in self._msgs:
+            if (source not in (ANY, m.source)) or (tag not in (ANY, m.tag)):
+                continue
+            if max_arrival is not None and m.arrival > max_arrival:
+                continue
+            if best is None or m.seq < best.seq:
+                best = m
+        if best is not None:
+            self._msgs.remove(best)
+        return best
+
+    def messages(self):
+        return iter(self._msgs)
+
+
 @dataclass
 class _Rank:
     rank: int
@@ -96,7 +201,9 @@ class _Rank:
     done: bool = False
     retval: Any = None
     send_value: Any = None  # value to inject at the next generator step
-    mailbox: list[_Message] = field(default_factory=list)
+    mailbox: _IndexedMailbox | _ListMailbox = field(
+        default_factory=_IndexedMailbox
+    )
     words_sent: int = 0
     msgs_sent: int = 0
 
@@ -158,6 +265,7 @@ class VirtualMachine:
         """
         from .simcomm import Comm
 
+        mailbox_cls = _ListMailbox if reference_enabled() else _IndexedMailbox
         ranks: list[_Rank] = []
         for r in range(self.nranks):
             comm = Comm(r, self.nranks, self.machine)
@@ -172,7 +280,7 @@ class VirtualMachine:
                     "rank program must be a generator function "
                     f"(got {type(gen).__name__} from {program!r})"
                 )
-            ranks.append(_Rank(r, gen))
+            ranks.append(_Rank(r, gen, mailbox=mailbox_cls()))
 
         ready: list[tuple[float, int]] = [(0.0, r) for r in range(self.nranks)]
         heapq.heapify(ready)
@@ -218,34 +326,29 @@ class VirtualMachine:
                     )
                 msg = _Message(r, op.tag, op.payload, op.nwords, st.clock, seq)
                 dst = ranks[op.dest]
-                dst.mailbox.append(msg)
+                dst.mailbox.add(msg)
                 if dst.blocked_on is not None and self._matches(dst.blocked_on, msg):
                     self._deliver(dst, ready, events)
                 heapq.heappush(ready, (st.clock, r))
             elif isinstance(op, ProbeOp):
-                ready_msgs = [
-                    m
-                    for m in st.mailbox
-                    if self._matches(RecvOp(op.source, op.tag), m)
-                    and m.arrival <= st.clock
-                ]
+                msg = st.mailbox.pop_match(
+                    op.source, op.tag, max_arrival=st.clock
+                )
                 # the mailbox check costs t_setup whether or not it matches
                 st.clock += self.machine.t_setup
-                if ready_msgs:
-                    msg = min(ready_msgs, key=lambda m: m.seq)
-                    st.mailbox.remove(msg)
+                if msg is not None:
                     st.send_value = (True, (msg.payload, msg.source, msg.tag))
                 else:
                     st.send_value = (False, None)
                 if events is not None:
                     events.append(
                         TraceEvent(st.clock, r, "probe",
-                                   (op.source, op.tag, bool(ready_msgs)))
+                                   (op.source, op.tag, msg is not None))
                     )
                 heapq.heappush(ready, (st.clock, r))
             elif isinstance(op, RecvOp):
                 st.blocked_on = op
-                if any(self._matches(op, m) for m in st.mailbox):
+                if st.mailbox.has_match(op.source, op.tag):
                     self._deliver(st, ready, events)
                 # else: stays blocked until a matching send arrives
             else:
@@ -287,10 +390,8 @@ class VirtualMachine:
         """Hand the oldest matching message to a rank blocked on a recv."""
         op = st.blocked_on
         assert op is not None
-        best = min(
-            (m for m in st.mailbox if self._matches(op, m)), key=lambda m: m.seq
-        )
-        st.mailbox.remove(best)
+        best = st.mailbox.pop_match(op.source, op.tag)
+        assert best is not None, "deliver called without a matching message"
         st.blocked_on = None
         st.clock = max(st.clock + self.machine.t_setup, best.arrival)
         if events is not None:
@@ -309,7 +410,7 @@ def _fmt_match(value: int) -> str:
 def _mailbox_summary(st: _Rank) -> list[tuple[int, int, int]]:
     """Unmatched-message census: sorted ``(source, tag, count)`` triples."""
     census: dict[tuple[int, int], int] = {}
-    for m in st.mailbox:
+    for m in st.mailbox.messages():
         key = (m.source, m.tag)
         census[key] = census.get(key, 0) + 1
     return [(src, tag, n) for (src, tag), n in sorted(census.items())]

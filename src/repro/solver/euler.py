@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.kernels import reference_enabled, scatter_add_rows
 from repro.mesh.tetmesh import TetMesh
 from repro.mesh.topology import LOCAL_EDGES
 
@@ -42,10 +43,13 @@ __all__ = ["EulerSolver", "dual_volumes", "edge_normals"]
 def dual_volumes(mesh: TetMesh) -> np.ndarray:
     """Median-dual control volume per vertex: ¼ of each incident tet."""
     vols = mesh.volumes()
-    out = np.zeros(mesh.nv)
-    for c in range(4):
-        np.add.at(out, mesh.elems[:, c], vols / 4.0)
-    return out
+    if reference_enabled():
+        out = np.zeros(mesh.nv)
+        for c in range(4):
+            np.add.at(out, mesh.elems[:, c], vols / 4.0)
+        return out
+    # corner-major concatenation reproduces the reference's addition order
+    return scatter_add_rows(mesh.elems.T.ravel(), np.tile(vols / 4.0, 4), mesh.nv)
 
 
 def _parity(perm: tuple[int, ...]) -> int:
@@ -73,7 +77,10 @@ def edge_normals(mesh: TetMesh) -> np.ndarray:
     coords = mesh.coords
     p = coords[mesh.elems]  # (ne, 4, 3)
     cell = p.mean(axis=1)  # (ne, 3)
+    reference = reference_enabled()
     out = np.zeros((mesh.nedges, 3))
+    all_eids: list[np.ndarray] = []
+    all_n: list[np.ndarray] = []
     for le, (a, b) in enumerate(LOCAL_EDGES):
         a, b = int(a), int(b)
         k, l = (c for c in range(4) if c not in (a, b))
@@ -91,7 +98,16 @@ def edge_normals(mesh: TetMesh) -> np.ndarray:
         # where local a is the edge's higher global vertex
         flip = mesh.edges[eids, 0] != mesh.elems[:, a]
         n = np.where(flip[:, None], -n, n)
-        np.add.at(out, eids, n)
+        if reference:
+            np.add.at(out, eids, n)
+        else:
+            all_eids.append(eids)
+            all_n.append(n)
+    if not reference:
+        # local-edge-major concatenation matches the reference's order
+        out = scatter_add_rows(
+            np.concatenate(all_eids), np.concatenate(all_n), mesh.nedges
+        )
     return out
 
 
@@ -184,9 +200,16 @@ class EulerSolver:
             qL = q[e[:, 0]]
             qR = q[e[:, 1]]
         f = self._flux_fn(qL, qR, self.normals)
-        res = np.zeros_like(q)
-        np.subtract.at(res, e[:, 0], f)
-        np.add.at(res, e[:, 1], f)
+        if reference_enabled():
+            res = np.zeros_like(q)
+            np.subtract.at(res, e[:, 0], f)
+            np.add.at(res, e[:, 1], f)
+        else:
+            # x - f == x + (-f) bitwise, so one endpoint-major bincount pass
+            # reproduces subtract-then-add exactly
+            res = scatter_add_rows(
+                e.T.ravel(), np.concatenate([-f, f]), q.shape[0]
+            )
         if self.periodic_pairs is not None:
             # the pair is one control volume: residuals accumulate across
             # the seam and both copies receive the combined value
@@ -203,9 +226,14 @@ class EulerSolver:
         lam = np.maximum(
             max_wave_speed(self.q[e[:, 0]]), max_wave_speed(self.q[e[:, 1]])
         )
-        speed_sum = np.zeros(self.mesh.nv)
-        np.add.at(speed_sum, e[:, 0], lam * area)
-        np.add.at(speed_sum, e[:, 1], lam * area)
+        if reference_enabled():
+            speed_sum = np.zeros(self.mesh.nv)
+            np.add.at(speed_sum, e[:, 0], lam * area)
+            np.add.at(speed_sum, e[:, 1], lam * area)
+        else:
+            speed_sum = scatter_add_rows(
+                e.T.ravel(), np.tile(lam * area, 2), self.mesh.nv
+            )
         with np.errstate(divide="ignore"):
             dt = self.vol / np.maximum(speed_sum, 1e-300)
         return cfl * float(dt.min())

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import reference_enabled, scatter_add_rows
 from repro.mesh.tetmesh import TetMesh
 
 __all__ = ["lsq_gradients", "limit_barth_jespersen", "muscl_edge_states"]
@@ -38,16 +39,20 @@ def lsq_gradients(mesh: TetMesh, q: np.ndarray) -> np.ndarray:
     w = 1.0 / np.maximum(dist2, 1e-300)  # inverse-distance-squared weights
 
     # normal-equation matrices A (nv, 3, 3) and right sides b (nv, ncomp, 3)
-    A = np.zeros((mesh.nv, 3, 3))
     outer = w[:, None, None] * d[:, :, None] * d[:, None, :]
-    np.add.at(A, e[:, 0], outer)
-    np.add.at(A, e[:, 1], outer)
-
     dq = q[e[:, 1]] - q[e[:, 0]]  # (ne, ncomp)
     rhs = w[:, None, None] * dq[:, :, None] * d[:, None, :]  # (ne, ncomp, 3)
-    b = np.zeros((mesh.nv, q.shape[1], 3))
-    np.add.at(b, e[:, 0], rhs)
-    np.add.at(b, e[:, 1], rhs)
+    if reference_enabled():
+        A = np.zeros((mesh.nv, 3, 3))
+        np.add.at(A, e[:, 0], outer)
+        np.add.at(A, e[:, 1], outer)
+        b = np.zeros((mesh.nv, q.shape[1], 3))
+        np.add.at(b, e[:, 0], rhs)
+        np.add.at(b, e[:, 1], rhs)
+    else:
+        idx = e.T.ravel()  # all lower endpoints then all upper, as above
+        A = scatter_add_rows(idx, np.concatenate([outer, outer]), mesh.nv)
+        b = scatter_add_rows(idx, np.concatenate([rhs, rhs]), mesh.nv)
 
     # regularise rank-deficient stencils (isolated/boundary corners)
     A += 1e-12 * np.eye(3)
