@@ -5,6 +5,11 @@ Reproduces the story of the paper's Figs. 4 and 5 on one strategy: how the
 parallel mesh adaptor speeds up with processors, and how much data movement
 the remap-before-subdivision ordering saves.
 
+The whole sweep runs under an ambient tracer; alongside the table it
+exports the trace as ``scaling_study.jsonl`` (schema ``repro.obs/v2``)
+and renders the run-report dashboard to ``scaling_study.html`` — the
+same artifacts ``repro report <trace.jsonl>`` produces.
+
 Run:  python examples/scaling_study.py [resolution] [strategy]
       (strategy one of Real_1, Real_2, Real_3; default Real_1)
 """
@@ -13,6 +18,7 @@ import sys
 
 from repro.experiments import case_for, run_step
 from repro.experiments.sweep import SWEEP_PROCS
+from repro.obs import Tracer, export_jsonl, render_html, use_tracer
 
 
 def main(resolution: int = 8, strategy: str = "Real_1") -> None:
@@ -23,20 +29,32 @@ def main(resolution: int = 8, strategy: str = "Real_1") -> None:
            f"{'speedup gain':>12s} | {'moved(after)':>12s} {'moved(before)':>13s}")
     print(hdr)
     print("-" * len(hdr))
-    t1 = {m: run_step(resolution, strategy, m, 1).adaption_time
-          for m in ("after", "before")}
-    for p in SWEEP_PROCS:
-        ra = run_step(resolution, strategy, "after", p)
-        rb = run_step(resolution, strategy, "before", p)
-        sa = t1["after"] / ra.adaption_time
-        sb = t1["before"] / rb.adaption_time
-        ma = ra.remap.elements_moved if ra.remap else 0
-        mb = rb.remap.elements_moved if rb.remap else 0
-        print(f"{p:4d} | {ra.adaption_time:12.4f} {rb.adaption_time:13.4f} "
-              f"{sb / sa:11.2f}x | {ma:12d} {mb:13d}")
+    tracer = Tracer()
+    with use_tracer(tracer):
+        t1 = {m: run_step(resolution, strategy, m, 1).adaption_time
+              for m in ("after", "before")}
+        for p in SWEEP_PROCS:
+            ra = run_step(resolution, strategy, "after", p)
+            rb = run_step(resolution, strategy, "before", p)
+            sa = t1["after"] / ra.adaption_time
+            sb = t1["before"] / rb.adaption_time
+            ma = ra.remap.elements_moved if ra.remap else 0
+            mb = rb.remap.elements_moved if rb.remap else 0
+            print(f"{p:4d} | {ra.adaption_time:12.4f} {rb.adaption_time:13.4f} "
+                  f"{sb / sa:11.2f}x | {ma:12d} {mb:13d}")
     print("\n'speedup gain' is the factor by which remapping before the "
           "subdivision\nimproves the adaptor's parallel speedup "
           "(the paper reports up to 2.6x).")
+
+    trace_path = "scaling_study.jsonl"
+    html_path = "scaling_study.html"
+    n = export_jsonl(tracer, trace_path)
+    title = f"scaling study: {strategy} at resolution {resolution}"
+    with open(html_path, "w") as fh:
+        fh.write(render_html(tracer, title=title, source=trace_path))
+    print(f"\nwrote {n} trace records to {trace_path}")
+    print(f"wrote run report to {html_path} "
+          f"(or render later: python -m repro report {trace_path})")
 
 
 if __name__ == "__main__":

@@ -1,13 +1,25 @@
 #!/bin/sh
-# CI entry point: unit tests, trace smoke check, quick benchmark gate.
+# CI entry point: unit tests, trace smoke check, report smoke, bench gate.
 #
-# The bench gate runs the quick profile (resolution 4, subset) and fails
-# on schema violations, >15% wall-time regression vs the committed
-# BENCH_results.json, or any drift in the virtual-second series.
+# The report smoke exports a one-step trace and renders the run-report
+# dashboard from it; it fails if the report exits nonzero or omits the
+# cycle's balance-quality row.  The bench gate runs the quick profile
+# (resolution 4, subset) and fails on schema violations, >15% wall-time
+# regression vs the committed BENCH_results.json, or any drift in the
+# virtual-second series.
 set -e
 cd "$(dirname "$0")/.."
 
 python -m pytest -x -q
 python scripts/smoke_trace.py
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+PYTHONPATH=src python -m repro step 4 --nproc 4 --trace-out "$tmp/step.jsonl" > /dev/null
+PYTHONPATH=src python -m repro report "$tmp/step.jsonl" --format ascii > "$tmp/report.txt"
+grep -q "Balance quality per cycle" "$tmp/report.txt"
+grep -Eq "^ *0 " "$tmp/report.txt"
+echo "report smoke: OK"
+
 python scripts/bench_suite.py --quick --baseline BENCH_results.json --no-write
 echo "ci: OK"

@@ -3,9 +3,12 @@
 
 Runs ``python -m repro step --trace-out`` on a tiny mesh (resolution 4,
 a few hundred elements — seconds of wall time), then validates the
-emitted JSONL against the ``repro.obs/v1`` schema and sanity-checks the
+emitted JSONL against the ``repro.obs/v2`` schema and sanity-checks the
 span tree: the step must contain marking/subdivision spans and the root
-span's virtual duration must equal the sum of its phase leaves.
+span's virtual duration must equal the sum of its phase leaves.  The
+trace must carry labelled metric samples, and ``repro report`` must
+render it as both an ASCII dashboard (mentioning every cycle) and a
+non-empty HTML file.
 
 Exit status 0 on success, 1 with a diagnostic on any failure.
 
@@ -15,6 +18,7 @@ Usage:  python scripts/smoke_trace.py  (from the repo root)
 from __future__ import annotations
 
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -31,7 +35,7 @@ def fail(msg: str) -> "int":
 
 
 def main() -> int:
-    from repro.obs import SchemaError, read_jsonl, validate_jsonl
+    from repro.obs import SCHEMA_VERSION, SchemaError, read_jsonl, validate_jsonl
 
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
@@ -56,6 +60,12 @@ def main() -> int:
             return fail(f"JSONL schema violation: {exc}")
         if summary["spans"] == 0:
             return fail("trace contains no spans")
+        if summary["metrics"] == 0:
+            return fail("trace contains no labelled metric samples")
+        with open(jsonl) as fh:
+            first = fh.readline()
+        if f'"{SCHEMA_VERSION}"' not in first:
+            return fail(f"meta line does not declare {SCHEMA_VERSION}: {first}")
 
         tracer = read_jsonl(jsonl)
         names = {s.name for s in tracer.spans}
@@ -77,8 +87,35 @@ def main() -> int:
         if not os.path.exists(chrome) or os.path.getsize(chrome) == 0:
             return fail("Chrome trace was not written")
 
+        # the run report must render from the trace alone: ASCII mentioning
+        # every recorded cycle, plus a self-contained HTML file with charts
+        html = os.path.join(tmp, "report.html")
+        cmd = [
+            sys.executable, "-m", "repro", "report", jsonl,
+            "--format", "both", "--out", html,
+        ]
+        proc = subprocess.run(
+            cmd, env=env, cwd=REPO, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            return fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                        f"{proc.stdout}\n{proc.stderr}")
+        cycles = tracer.metrics.cycles()
+        if not cycles:
+            return fail("trace records no adaptation cycles")
+        for c in cycles:
+            if not re.search(rf"^\s*{c}\b", proc.stdout, re.MULTILINE):
+                return fail(f"ASCII report does not mention cycle {c}")
+        if not os.path.exists(html) or os.path.getsize(html) == 0:
+            return fail("HTML report was not written")
+        with open(html) as fh:
+            html_text = fh.read()
+        if "<svg" not in html_text:
+            return fail("HTML report contains no SVG charts")
+
     print(f"smoke_trace: OK ({summary['spans']} spans, "
-          f"{summary['events']} events, {summary['counters']} counters)")
+          f"{summary['events']} events, {summary['metrics']} metrics, "
+          f"{summary['counters']} counters, {len(cycles)} cycle(s))")
     return 0
 
 

@@ -2,9 +2,11 @@
 
 Commands
 --------
-report [RESOLUTION]
-    Regenerate every table and figure of the paper's evaluation section
-    (default resolution 8 ≈ 6k elements; 13 is paper-scale).
+report [RESOLUTION | TRACE.jsonl]
+    With a numeric target: regenerate every table and figure of the
+    paper's evaluation section (default resolution 8 ≈ 6k elements; 13 is
+    paper-scale).  With a trace-file path: render a run report from the
+    exported JSONL (``--format ascii|html|both``, ``--out PATH``).
 step [RESOLUTION]
     Run one load-balanced adapt/balance cycle on the rotor case and print
     its phase anatomy from tracer spans (``--nproc`` selects P).
@@ -16,9 +18,10 @@ version
 Tracing
 -------
 ``report`` and ``step`` accept ``--trace-out PATH`` to export the run's
-phase spans, events, and counters as JSONL (schema ``repro.obs/v1``) and
-``--chrome-out PATH`` to additionally write a Chrome-trace JSON that
-``chrome://tracing`` or https://ui.perfetto.dev can open.
+phase spans, events, metrics, and counters as JSONL (schema
+``repro.obs/v2``) and ``--chrome-out PATH`` to additionally write a
+Chrome-trace JSON that ``chrome://tracing`` or https://ui.perfetto.dev
+can open.  Feed the JSONL back to ``report`` for the dashboard.
 """
 
 from __future__ import annotations
@@ -38,15 +41,34 @@ def _build_parser() -> argparse.ArgumentParser:
     def add_tracing(p):
         p.add_argument(
             "--trace-out", metavar="PATH", default=None,
-            help="export phase spans/counters as JSONL (repro.obs/v1)",
+            help="export phase spans/metrics/counters as JSONL (repro.obs/v2)",
         )
         p.add_argument(
             "--chrome-out", metavar="PATH", default=None,
             help="export a chrome://tracing-loadable trace JSON",
         )
 
-    p_report = sub.add_parser("report", help="regenerate all tables/figures")
-    p_report.add_argument("resolution", nargs="?", type=int, default=8)
+    p_report = sub.add_parser(
+        "report",
+        help="regenerate all tables/figures, or render a trace-file report",
+    )
+    p_report.add_argument(
+        "target", nargs="?", default="8",
+        help="experiment resolution (integer) or a trace .jsonl path",
+    )
+    p_report.add_argument(
+        "--format", dest="fmt", default="ascii",
+        choices=("ascii", "html", "both"),
+        help="trace-report output format (trace-file mode only)",
+    )
+    p_report.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="HTML output path (default: trace path with .html suffix)",
+    )
+    p_report.add_argument(
+        "--top", type=int, default=10,
+        help="span-table size in the trace report",
+    )
     add_tracing(p_report)
 
     p_step = sub.add_parser("step", help="one traced adapt/balance cycle")
@@ -77,14 +99,39 @@ def _export(tracer, trace_out: str | None, chrome_out: str | None) -> None:
 
 
 def _cmd_report(args) -> int:
+    try:
+        resolution = int(args.target)
+    except ValueError:
+        return _cmd_trace_report(args)
+
     from repro.experiments.report import run_all
     from repro.obs import Tracer
 
     tracing = bool(args.trace_out or args.chrome_out)
     tracer = Tracer() if tracing else None
-    print(run_all(args.resolution, tracer=tracer))
+    print(run_all(resolution, tracer=tracer))
     if tracer is not None:
         _export(tracer, args.trace_out, args.chrome_out)
+    return 0
+
+
+def _cmd_trace_report(args) -> int:
+    import os
+
+    from repro.obs import read_jsonl, render_ascii, render_html
+
+    path = args.target
+    if not os.path.exists(path):
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+    tracer = read_jsonl(path)
+    if args.fmt in ("ascii", "both"):
+        print(render_ascii(tracer, source=path, top=args.top), end="")
+    if args.fmt in ("html", "both"):
+        out = args.out or os.path.splitext(path)[0] + ".html"
+        with open(out, "w") as fh:
+            fh.write(render_html(tracer, source=path, top=args.top))
+        print(f"wrote HTML report to {out}")
     return 0
 
 

@@ -64,11 +64,17 @@ def _check_bench(rec, path: str) -> None:
             f"{path}.speedup_vs_reference",
             positive=True,
         )
+    metrics = rec.get("metrics")
+    if metrics is not None:
+        _check_scalar_map(
+            metrics, f"{path}.metrics", lambda v, p: _check_number(v, p)
+        )
     unknown = set(rec) - {
         "wall_seconds",
         "virtual_phase_seconds",
         "counters",
         "extra",
+        "metrics",
         "reference_wall_seconds",
         "speedup_vs_reference",
     }

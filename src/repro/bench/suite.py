@@ -62,12 +62,36 @@ def run_bench(name: str, resolution: int, repeats: int = 1) -> dict:
         with use_tracer(tracer):
             extra = bench.fn(resolution) or {}
         wall = min(wall, time.perf_counter() - t0)
-    return {
+    rec = {
         "wall_seconds": wall,
         "virtual_phase_seconds": phase_virtual_times(tracer.spans),
         "counters": dict(tracer.counters),
         "extra": extra,
     }
+    metrics = _metric_summary(tracer)
+    if metrics:
+        rec["metrics"] = metrics
+    return rec
+
+
+def _metric_summary(tracer: Tracer) -> dict:
+    """Headline labelled-metric aggregates for the results record."""
+    reg = tracer.metrics
+    summary = {
+        "max_imbalance": reg.max_value(
+            "repro.partition.imbalance", {"when": "before"}
+        ),
+        "final_imbalance": reg.max_value(
+            "repro.partition.imbalance", {"when": "after"}
+        ),
+        "total_remap_volume": reg.total("repro.remap.elements_moved")
+        if reg.max_value("repro.remap.elements_moved") is not None
+        else None,
+        "total_remap_words": reg.total("repro.remap.words_moved")
+        if reg.max_value("repro.remap.words_moved") is not None
+        else None,
+    }
+    return {k: v for k, v in summary.items() if v is not None}
 
 
 def run_suite(
@@ -108,6 +132,10 @@ def run_suite(
                 line += (
                     f" (reference {rec['reference_wall_seconds']:.2f}s, "
                     f"{rec['speedup_vs_reference']:.2f}x)"
+                )
+            if "metrics" in rec:
+                line += " | " + ", ".join(
+                    f"{k}={v:.4g}" for k, v in rec["metrics"].items()
                 )
             progress(line)
     doc = {

@@ -20,10 +20,12 @@ import numpy as np
 
 from repro.adapt.adaptor import AdaptiveMesh
 from repro.adapt.marking import MarkingResult
+from repro.adapt.stats import marking_stats
 from repro.mesh.tetmesh import TetMesh
 from repro.obs import Span, Tracer, current_tracer
 from repro.parallel.ledger import CostLedger
 from repro.parallel.machine import MachineModel, SP2_1997
+from repro.partition import quality as pq
 from repro.partition.multilevel import multilevel_kway
 from repro.partition.parallel_model import partition_time
 from repro.partition.repartition import repartition
@@ -228,11 +230,13 @@ class LoadBalancedAdaptiveSolver:
         report = StepReport()
         tracer = self.tracer or current_tracer() or Tracer()
         first_span = len(tracer.spans)
+        cycle = tracer.begin_cycle()
         with tracer.phase(
             "adapt_step",
             nproc=self.nproc,
             remap_when=self.remap_when,
             reassigner=self.reassigner,
+            cycle=cycle,
         ):
             with tracer.phase("marking") as sp:
                 ledger = CostLedger(self.nproc, self.machine, tracer=tracer)
@@ -250,6 +254,23 @@ class LoadBalancedAdaptiveSolver:
                     edges_marked=edges_marked, iterations=marking.iterations
                 )
                 tracer.count("edges_marked", edges_marked)
+                ms = marking_stats(marking, seed_mask=edge_mask)
+                for sub, nelem in (
+                    ("unchanged", ms.n_unchanged),
+                    ("1to2", ms.n_1to2),
+                    ("1to4", ms.n_1to4),
+                    ("1to8", ms.n_1to8),
+                ):
+                    tracer.metric("repro.adapt.elements", nelem, subdivision=sub)
+                tracer.metric("repro.adapt.marked_edges", edges_marked)
+                tracer.metric(
+                    "repro.adapt.propagation_iters", marking.iterations
+                )
+                tracer.metric("repro.adapt.elements_before", ms.n_elements)
+            if edge_error is not None:
+                err = np.asarray(edge_error, dtype=np.float64)
+                norm = float(np.sqrt(np.mean(err * err))) if err.size else 0.0
+                tracer.metric("repro.solver.indicator_norm", norm)
             report.marking = marking
             report.marking_time = ledger.elapsed
 
@@ -268,6 +289,18 @@ class LoadBalancedAdaptiveSolver:
             report.imbalance_after = self.solver_imbalance()
             tracer.gauge("imbalance_after", report.imbalance_after)
         report.spans = tracer.spans[first_span:]
+        for phase, secs in report.phase_times().items():
+            tracer.metric("repro.cycle.phase_seconds", secs, phase=phase)
+        tracer.metric("repro.cycle.total_seconds", report.total_time)
+        tracer.metric("repro.cycle.growth_factor", report.growth_factor)
+        tracer.metric(
+            "repro.cycle.imbalance", report.imbalance_before, when="before"
+        )
+        tracer.metric(
+            "repro.cycle.imbalance", report.imbalance_after, when="after"
+        )
+        tracer.metric("repro.cycle.accepted", float(report.accepted))
+        tracer.metric("repro.cycle.nproc", self.nproc)
         return report
 
     # --- internals -----------------------------------------------------------
@@ -282,6 +315,7 @@ class LoadBalancedAdaptiveSolver:
             )
             tracer.advance(ledger.elapsed)
             sp.attrs["growth_factor"] = result.growth_factor
+            tracer.metric("repro.adapt.elements_after", self.adaptive.mesh.ne)
         report.subdivision_time = ledger.elapsed
         report.growth_factor = result.growth_factor
         report.mesh_sizes = self.adaptive.mesh.sizes()
@@ -317,6 +351,16 @@ class LoadBalancedAdaptiveSolver:
                 )
                 tracer.advance(report.partition_time)
                 sp.attrs.update(npart=npart, n=self.dual.n)
+            tracer.metric(
+                "repro.partition.imbalance",
+                pq.imbalance(graph, self.part, self.nproc),
+                when="before",
+            )
+            tracer.metric(
+                "repro.partition.edgecut",
+                float(pq.edgecut(graph, self.part)),
+                when="before",
+            )
 
             # data physically moved: the *current* (pre- or post-subdivision)
             # refinement trees, depending on remap_when
@@ -355,6 +399,39 @@ class LoadBalancedAdaptiveSolver:
                 S, proc_of_part, self.machine.alpha, self.machine.beta
             )
             report.stats = stats
+            total_mass = float(S.sum())
+            tracer.metric("repro.partition.diag_mass", float(stats.objective))
+            tracer.metric(
+                "repro.partition.diag_fraction",
+                float(stats.objective) / total_mass if total_mass else 1.0,
+            )
+            # paper Table 1 quantities for both reassignment methods, so
+            # every run report can compare greedy against optimal MWBG
+            # (re-solving the assignment here costs wall time only — the
+            # modelled reassign_time above is unchanged)
+            mappings = {
+                "greedy": proc_of_part
+                if self.reassigner == "heuristic_mwbg"
+                else heuristic_mwbg(S, F=self.F),
+                "mwbg": proc_of_part
+                if self.reassigner == "optimal_mwbg"
+                else optimal_mwbg(S, F=self.F),
+            }
+            for method, mapping in mappings.items():
+                mstats = remap_stats(
+                    S, mapping, self.machine.alpha, self.machine.beta
+                )
+                tracer.metric(
+                    "repro.reassign.total_v", mstats.c_total, method=method
+                )
+                tracer.metric(
+                    "repro.reassign.max_v", mstats.c_max, method=method
+                )
+                tracer.metric(
+                    "repro.reassign.max_sr",
+                    max(mstats.max_sent, mstats.max_received),
+                    method=method,
+                )
             with tracer.phase("decide") as sp:
                 decision = self.cost_model.decide(
                     wcomp, self.part, new_proc, self.nproc, stats
@@ -364,6 +441,17 @@ class LoadBalancedAdaptiveSolver:
                     accept=decision.accept,
                 )
             report.decision = decision
+            chosen = new_proc if decision.accept else self.part
+            tracer.metric(
+                "repro.partition.imbalance",
+                pq.imbalance(graph, chosen, self.nproc),
+                when="after",
+            )
+            tracer.metric(
+                "repro.partition.edgecut",
+                float(pq.edgecut(graph, chosen)),
+                when="after",
+            )
             if not decision.accept:
                 return  # the new partitioning is discarded (Fig. 1)
             tracer.count("repartitions_accepted")
@@ -386,6 +474,16 @@ class LoadBalancedAdaptiveSolver:
                 )
             tracer.count("elements_moved", execu.elements_moved)
             tracer.count("words_moved", execu.words_moved)
+            tracer.metric(
+                "repro.remap.elements_moved", execu.elements_moved,
+                kind="counter",
+            )
+            tracer.metric(
+                "repro.remap.words_moved", execu.words_moved, kind="counter"
+            )
+            tracer.metric(
+                "repro.remap.messages", execu.messages, kind="counter"
+            )
             report.remap = execu
             report.remap_time = execu.time_seconds
             report.accepted = True

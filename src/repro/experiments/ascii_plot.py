@@ -36,10 +36,13 @@ def ascii_chart(
     width: int = 60,
     log_y: bool = False,
     title: str = "",
+    xlabel: str = "P",
 ) -> str:
     """Multi-series line chart over a shared (sorted) integer x-axis.
 
     Each series is drawn with its own marker; y is linear or log10.
+    ``xlabel`` names the x-axis (processor counts by default; run reports
+    pass ``"cycle"``).
     """
     if not series:
         return ""
@@ -76,7 +79,7 @@ def ascii_chart(
     lines.append(f"{ymin:>9s} ┤" + "".join(grid[-1]))
     lines.append(" " * 9 + " └" + "─" * width)
     xlabels = " ".join(str(x) for x in xs)
-    lines.append(" " * 11 + f"P = {xlabels}")
+    lines.append(" " * 11 + f"{xlabel} = {xlabels}")
     legend = "   ".join(
         f"{mark}={name}" for (name, _s), mark in zip(series.items(), markers)
     )

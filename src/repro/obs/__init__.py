@@ -1,4 +1,4 @@
-"""Unified observability layer: phase spans, counters, trace export.
+"""Unified observability layer: phase spans, metrics, trace export, reports.
 
 Every phase of the solve → adapt → balance cycle is double-clocked:
 
@@ -12,16 +12,21 @@ Every phase of the solve → adapt → balance cycle is double-clocked:
 
 A :class:`Tracer` records nestable :class:`Span` phases carrying both
 clocks, point :class:`PointEvent` records (e.g. every virtual-machine
-send/recv/probe during a remap), and a flat counter/gauge registry.
-:mod:`repro.obs.export` serialises a tracer to JSONL (one record per
-line, schema ``repro.obs/v1``) and to the Chrome trace-event format that
+send/recv/probe during a remap), a legacy flat counter/gauge registry,
+and a labelled :class:`MetricsRegistry` of time-series samples keyed by
+``(name, labels, cycle, rank)``.  :mod:`repro.obs.export` serialises a
+tracer to JSONL (one record per line, schema ``repro.obs/v2``; v1 files
+remain readable) and to the Chrome trace-event format that
 ``chrome://tracing`` / Perfetto can open directly.
+:mod:`repro.obs.report` turns a trace file into an ASCII dashboard or a
+self-contained HTML run report (``repro report <trace.jsonl>``).
 
 Instrumented code takes an optional ``tracer`` argument and falls back to
 the ambient tracer installed with :func:`use_tracer`, so experiment
 drivers opt in with one ``with`` block and zero plumbing.
 """
 
+from .metrics import KINDS, MetricSample, MetricsRegistry
 from .tracer import (
     PointEvent,
     Span,
@@ -33,16 +38,22 @@ from .tracer import (
 )
 from .export import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
     SchemaError,
     export_chrome_trace,
     export_jsonl,
     read_jsonl,
     validate_jsonl,
 )
+from .report import render_ascii, render_html
 
 __all__ = [
+    "KINDS",
+    "MetricSample",
+    "MetricsRegistry",
     "PointEvent",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
     "SchemaError",
     "Span",
     "Tracer",
@@ -52,6 +63,8 @@ __all__ = [
     "maybe_phase",
     "phase_virtual_times",
     "read_jsonl",
+    "render_ascii",
+    "render_html",
     "use_tracer",
     "validate_jsonl",
 ]

@@ -1,13 +1,15 @@
 """Serialise a :class:`~repro.obs.tracer.Tracer` to JSONL and Chrome trace.
 
-JSONL schema (``repro.obs/v1``)
+JSONL schema (``repro.obs/v2``)
 -------------------------------
 One JSON object per line.  The first line is the meta record; every other
-line is a span, event, counter, or gauge record:
+line is a span, event, metric, counter, or gauge record:
 
-``{"type": "meta", "schema": "repro.obs/v1", "spans": N, "events": M,
-"counters": C, "gauges": G}``
+``{"type": "meta", "schema": "repro.obs/v2", "spans": N, "events": M,
+"counters": C, "gauges": G, "metrics": K}``
     Header; the counts must match the number of records that follow.
+    v1 files (schema ``repro.obs/v1``, no ``metrics`` count, no ``metric``
+    records) are still accepted by :func:`read_jsonl`/:func:`validate_jsonl`.
 
 ``{"type": "span", "index": int, "parent": int|null, "depth": int >= 0,
 "name": str, "rank": int|null, "v_start": float, "v_end": float,
@@ -19,7 +21,14 @@ line is a span, event, counter, or gauge record:
 "span": int|null, "attrs": object}``
     A point event on the virtual timeline.
 
+``{"type": "metric", "name": str, "kind": "counter"|"gauge"|"histogram",
+"value": number | [number, ...], "labels": {str: str}, "cycle": int|null,
+"rank": int|null, "v_time": float}``
+    One labelled time-series sample keyed by ``(name, labels, cycle,
+    rank)`` (see :mod:`repro.obs.metrics`); histogram values are lists.
+
 ``{"type": "counter"|"gauge", "name": str, "value": number}``
+    Legacy flat counters/gauges (no labels, cycle, or rank).
 
 Chrome trace export writes the ``chrome://tracing`` / Perfetto JSON object
 format: spans become complete ``"X"`` slices on the *virtual* timeline
@@ -32,10 +41,12 @@ from __future__ import annotations
 
 import json
 
+from .metrics import KINDS
 from .tracer import PointEvent, Span, Tracer
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
     "SchemaError",
     "export_chrome_trace",
     "export_jsonl",
@@ -43,7 +54,11 @@ __all__ = [
     "validate_jsonl",
 ]
 
-SCHEMA_VERSION = "repro.obs/v1"
+SCHEMA_VERSION = "repro.obs/v2"
+
+#: Schemas :func:`read_jsonl`/:func:`validate_jsonl` accept (v1 traces
+#: predate labelled metric records but remain readable).
+SUPPORTED_SCHEMAS = ("repro.obs/v1", SCHEMA_VERSION)
 
 
 class SchemaError(ValueError):
@@ -54,7 +69,7 @@ class SchemaError(ValueError):
 
 
 def export_jsonl(tracer: Tracer, path) -> int:
-    """Write the tracer to ``path`` in the v1 JSONL schema.
+    """Write the tracer to ``path`` in the v2 JSONL schema.
 
     Open spans are skipped (a trace is exported after the run).  Returns
     the number of records written, including the meta line.
@@ -68,6 +83,7 @@ def export_jsonl(tracer: Tracer, path) -> int:
             "events": len(tracer.events),
             "counters": len(tracer.counters),
             "gauges": len(tracer.gauges),
+            "metrics": len(tracer.metrics),
         }
     ]
     for s in spans:
@@ -97,6 +113,19 @@ def export_jsonl(tracer: Tracer, path) -> int:
                 "attrs": e.attrs,
             }
         )
+    for s in tracer.metrics.samples():
+        records.append(
+            {
+                "type": "metric",
+                "name": s.name,
+                "kind": s.kind,
+                "value": s.value,
+                "labels": s.labels_dict,
+                "cycle": s.cycle,
+                "rank": s.rank,
+                "v_time": s.v_time,
+            }
+        )
     for name, value in tracer.counters.items():
         records.append({"type": "counter", "name": name, "value": value})
     for name, value in tracer.gauges.items():
@@ -109,7 +138,7 @@ def export_jsonl(tracer: Tracer, path) -> int:
 
 
 def read_jsonl(path) -> Tracer:
-    """Reconstruct a tracer from a v1 JSONL file (validates on the way)."""
+    """Reconstruct a tracer from a v1 or v2 JSONL file (validates on the way)."""
     validate_jsonl(path)
     tracer = Tracer()
     with open(path) as fh:
@@ -140,10 +169,23 @@ def read_jsonl(path) -> Tracer:
                         attrs=rec["attrs"],
                     )
                 )
+            elif rec["type"] == "metric":
+                tracer.metrics.record(
+                    rec["name"],
+                    rec["value"],
+                    kind=rec["kind"],
+                    labels=rec["labels"] or None,
+                    cycle=rec["cycle"],
+                    rank=rec["rank"],
+                    v_time=rec["v_time"],
+                )
             elif rec["type"] == "counter":
                 tracer.counters[rec["name"]] = rec["value"]
             elif rec["type"] == "gauge":
                 tracer.gauges[rec["name"]] = rec["value"]
+    cycles = tracer.metrics.cycles()
+    if cycles:
+        tracer._next_cycle = max(cycles) + 1
     if tracer.spans:
         tracer._vclock = max(s.v_end for s in tracer.spans)
     return tracer
@@ -156,20 +198,53 @@ _REQUIRED = {
              "v_end": (int, float), "wall_start": (int, float),
              "wall_end": (int, float), "attrs": dict},
     "event": {"name": str, "v_time": (int, float), "attrs": dict},
+    "metric": {"name": str, "kind": str, "labels": dict,
+               "v_time": (int, float)},
     "counter": {"name": str, "value": (int, float)},
     "gauge": {"name": str, "value": (int, float)},
 }
-_NULLABLE_INT = {"span": ("parent", "rank"), "event": ("rank", "span")}
+_NULLABLE_INT = {"span": ("parent", "rank"), "event": ("rank", "span"),
+                 "metric": ("cycle", "rank")}
+
+
+def _is_number(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def _check_metric(rec, lineno: int) -> None:
+    if rec["kind"] not in KINDS:
+        raise SchemaError(
+            f"line {lineno}: metric.kind {rec['kind']!r} not in {KINDS}"
+        )
+    value = rec.get("value")
+    if rec["kind"] == "histogram":
+        if not isinstance(value, list) or not all(_is_number(v) for v in value):
+            raise SchemaError(
+                f"line {lineno}: histogram metric value must be a list of "
+                "numbers"
+            )
+    elif not _is_number(value):
+        raise SchemaError(
+            f"line {lineno}: {rec['kind']} metric value must be a number"
+        )
+    for k, v in rec["labels"].items():
+        if not isinstance(k, str) or not isinstance(v, str):
+            raise SchemaError(
+                f"line {lineno}: metric labels must map str to str"
+            )
 
 
 def validate_jsonl(path) -> dict:
-    """Validate a JSONL trace against the v1 schema.
+    """Validate a JSONL trace against the v2 (or legacy v1) schema.
 
     Raises :class:`SchemaError` on the first violation; returns a summary
-    ``{"spans": N, "events": M, "counters": C, "gauges": G}`` on success.
+    ``{"spans": N, "events": M, "counters": C, "gauges": G, "metrics": K}``
+    on success (``metrics`` is 0 for v1 files, which may not contain
+    ``metric`` records).
     """
-    counts = {"span": 0, "event": 0, "counter": 0, "gauge": 0}
+    counts = {"span": 0, "event": 0, "metric": 0, "counter": 0, "gauge": 0}
     meta = None
+    schema = None
     span_indices: set[int] = set()
     with open(path) as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -205,12 +280,30 @@ def validate_jsonl(path) -> dict:
                         f"line {lineno}: {kind}.{key} must be an int or null"
                     )
             if kind == "meta":
-                if rec["schema"] != SCHEMA_VERSION:
+                schema = rec["schema"]
+                if schema not in SUPPORTED_SCHEMAS:
                     raise SchemaError(
-                        f"unsupported schema {rec['schema']!r} "
-                        f"(expected {SCHEMA_VERSION!r})"
+                        f"unsupported schema {schema!r} "
+                        f"(expected one of {SUPPORTED_SCHEMAS})"
                     )
+                if schema == SCHEMA_VERSION and not isinstance(
+                    rec.get("metrics"), int
+                ):
+                    raise SchemaError("meta missing integer 'metrics' count")
                 continue
+            if kind == "metric":
+                if schema != SCHEMA_VERSION:
+                    raise SchemaError(
+                        f"line {lineno}: metric records require schema "
+                        f"{SCHEMA_VERSION!r}, file declares {schema!r}"
+                    )
+                if "value" not in rec:
+                    raise SchemaError(f"line {lineno}: metric missing 'value'")
+                if "cycle" not in rec or "rank" not in rec:
+                    raise SchemaError(
+                        f"line {lineno}: metric missing 'cycle' or 'rank'"
+                    )
+                _check_metric(rec, lineno)
             counts[kind] += 1
             if kind == "span":
                 if rec["v_end"] < rec["v_start"]:
@@ -230,14 +323,18 @@ def validate_jsonl(path) -> dict:
                 span_indices.add(rec["index"])
     if meta is None:
         raise SchemaError("empty trace file (no meta record)")
-    for kind, key in (("span", "spans"), ("event", "events"),
-                      ("counter", "counters"), ("gauge", "gauges")):
+    expected = [("span", "spans"), ("event", "events"),
+                ("counter", "counters"), ("gauge", "gauges")]
+    if schema == SCHEMA_VERSION:
+        expected.append(("metric", "metrics"))
+    for kind, key in expected:
         if counts[kind] != meta[key]:
             raise SchemaError(
                 f"meta declares {meta[key]} {key}, found {counts[kind]}"
             )
     return {"spans": counts["span"], "events": counts["event"],
-            "counters": counts["counter"], "gauges": counts["gauge"]}
+            "counters": counts["counter"], "gauges": counts["gauge"],
+            "metrics": counts["metric"]}
 
 
 # --- Chrome trace ------------------------------------------------------------

@@ -1,0 +1,251 @@
+"""Labelled time-series metrics registry (trace record type ``metric``).
+
+The flat ``Tracer.counters``/``gauges`` dicts cannot tell two instrumented
+sites apart: two call sites using the same name silently merge into one
+number, and nothing records *when* (which adaptation cycle) or *where*
+(which virtual rank) a value was observed.  This module gives every
+quantity of the solve → adapt → balance cycle a first-class time series:
+samples are keyed by ``(name, labels, cycle, rank)`` and carry the virtual
+timestamp at which they were recorded.
+
+Naming convention
+-----------------
+``repro.<subsystem>.<quantity>`` — e.g. ``repro.partition.imbalance``,
+``repro.reassign.total_v``, ``repro.vm.words_sent``.  Qualifiers that are
+*dimensions* of the same quantity go into labels (``method="greedy"``,
+``when="before"``, ``phase="remap"``), never into the name.
+
+Kinds
+-----
+``counter``
+    Monotone accumulation: recording again under the same key *adds*.
+``gauge``
+    Last-write-wins observation of a level.
+``histogram``
+    Every observation under a key is kept (a list of values), for
+    quantities sampled many times per cycle (e.g. solver residuals).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+__all__ = ["KINDS", "MetricSample", "MetricsRegistry"]
+
+#: Valid metric kinds, in the order they serialise.
+KINDS = ("counter", "gauge", "histogram")
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One point (or, for histograms, one bag of points) of a metric series."""
+
+    name: str
+    kind: str  #: one of :data:`KINDS`
+    value: float | list
+    labels: tuple[tuple[str, str], ...] = ()  #: sorted (key, value) pairs
+    cycle: int | None = None  #: adaptation cycle the sample belongs to
+    rank: int | None = None  #: virtual processor, where one applies
+    v_time: float = 0.0  #: virtual clock when (last) recorded
+
+    @property
+    def labels_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+def _freeze_labels(labels: dict | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Counter/gauge/histogram samples keyed by ``(name, labels, cycle, rank)``.
+
+    Insertion order is preserved (stable export).  A name is bound to one
+    kind and one label keyset for the lifetime of the registry: a kind
+    mismatch raises, a label-keyset mismatch (the silent-merge hazard the
+    flat dicts had) warns once per name, as does sharing a name with a
+    legacy flat counter/gauge (see :meth:`note_legacy`).
+    """
+
+    def __init__(self):
+        self._samples: dict[tuple, MetricSample] = {}
+        self._kind: dict[str, str] = {}
+        self._labelsets: dict[str, frozenset] = {}
+        self._legacy: set[str] = set()
+        self._warned: set[str] = set()
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __bool__(self) -> bool:  # an empty registry is falsy, like a dict
+        return bool(self._samples)
+
+    # --- recording ---------------------------------------------------------
+
+    def record(
+        self,
+        name: str,
+        value,
+        kind: str = "gauge",
+        labels: dict | None = None,
+        cycle: int | None = None,
+        rank: int | None = None,
+        v_time: float = 0.0,
+    ) -> MetricSample:
+        """Record one sample; returns the (possibly merged) stored sample."""
+        if kind not in KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}; choose from {KINDS}")
+        bound = self._kind.setdefault(name, kind)
+        if bound != kind:
+            raise ValueError(
+                f"metric {name!r} is a {bound}, cannot record it as a {kind}"
+            )
+        frozen = _freeze_labels(labels)
+        keyset = frozenset(k for k, _v in frozen)
+        seen = self._labelsets.setdefault(name, keyset)
+        if seen != keyset:
+            self._warn(
+                name,
+                f"metric {name!r} recorded with label keys "
+                f"{sorted(keyset)} after {sorted(seen)}; series with "
+                "different label keys will not align",
+            )
+        if name in self._legacy:
+            self._warn(
+                name,
+                f"metric {name!r} collides with a legacy flat "
+                "counter/gauge of the same name; migrate the legacy site "
+                "to the labelled registry",
+            )
+
+        key = (name, frozen, cycle, rank)
+        prev = self._samples.get(key)
+        if kind == "histogram":
+            values = list(prev.value) if prev is not None else []
+            values.extend(value if isinstance(value, (list, tuple)) else [value])
+            stored = values
+        elif kind == "counter":
+            stored = float(value) + (float(prev.value) if prev is not None else 0.0)
+        else:  # gauge: last write wins
+            stored = float(value)
+        sample = MetricSample(
+            name=name, kind=kind, value=stored, labels=frozen,
+            cycle=cycle, rank=rank, v_time=v_time,
+        )
+        self._samples[key] = sample
+        return sample
+
+    def counter(self, name: str, value=1.0, **kw) -> MetricSample:
+        return self.record(name, value, kind="counter", **kw)
+
+    def gauge(self, name: str, value, **kw) -> MetricSample:
+        return self.record(name, value, kind="gauge", **kw)
+
+    def histogram(self, name: str, value, **kw) -> MetricSample:
+        return self.record(name, value, kind="histogram", **kw)
+
+    def note_legacy(self, name: str) -> None:
+        """Register a legacy flat-dict counter/gauge name for collision checks."""
+        self._legacy.add(name)
+        if name in self._kind:
+            self._warn(
+                name,
+                f"legacy counter/gauge {name!r} collides with a labelled "
+                "metric of the same name; migrate the legacy site to the "
+                "labelled registry",
+            )
+
+    def _warn(self, name: str, message: str) -> None:
+        if name not in self._warned:
+            self._warned.add(name)
+            warnings.warn(message, RuntimeWarning, stacklevel=4)
+
+    # --- queries -----------------------------------------------------------
+
+    def samples(self) -> list[MetricSample]:
+        """All stored samples, in first-recorded order."""
+        return list(self._samples.values())
+
+    def names(self) -> list[str]:
+        """Sorted distinct metric names."""
+        return sorted(self._kind)
+
+    def _match(self, name: str, labels: dict | None, cycle, rank,
+               any_cycle: bool, any_rank: bool):
+        frozen = _freeze_labels(labels) if labels is not None else None
+        for s in self._samples.values():
+            if s.name != name:
+                continue
+            if frozen is not None and s.labels != frozen:
+                continue
+            if not any_cycle and s.cycle != cycle:
+                continue
+            if not any_rank and s.rank != rank:
+                continue
+            yield s
+
+    def get(self, name: str, labels: dict | None = None,
+            cycle: int | None = None, rank: int | None = None):
+        """Exact-key lookup; returns the stored value or None."""
+        key = (name, _freeze_labels(labels), cycle, rank)
+        s = self._samples.get(key)
+        return None if s is None else s.value
+
+    def series(self, name: str, labels: dict | None = None,
+               rank: int | None = None) -> dict[int, float | list]:
+        """``{cycle: value}`` for one (name, labels, rank) over all cycles.
+
+        With ``labels=None`` the label set is not filtered (useful for
+        unlabelled metrics); samples without a cycle are skipped.
+        """
+        out: dict[int, float | list] = {}
+        for s in self._match(name, labels, None, rank,
+                             any_cycle=True, any_rank=False):
+            if s.cycle is not None:
+                out[s.cycle] = s.value
+        return dict(sorted(out.items()))
+
+    def per_rank(self, name: str, labels: dict | None = None,
+                 cycle: int | None = None) -> dict[int, float]:
+        """``{rank: value}`` summed over cycles (or one ``cycle`` if given)."""
+        out: dict[int, float] = {}
+        for s in self._match(name, labels, cycle, None,
+                             any_cycle=cycle is None, any_rank=True):
+            if s.rank is None:
+                continue
+            v = sum(s.value) if isinstance(s.value, list) else float(s.value)
+            out[s.rank] = out.get(s.rank, 0.0) + v
+        return dict(sorted(out.items()))
+
+    def _values(self, name: str, labels: dict | None):
+        for s in self._match(name, labels, None, None,
+                             any_cycle=True, any_rank=True):
+            if isinstance(s.value, list):
+                yield from (float(v) for v in s.value)
+            else:
+                yield float(s.value)
+
+    def total(self, name: str, labels: dict | None = None) -> float:
+        """Sum of every matching sample's value (0.0 when none match)."""
+        return sum(self._values(name, labels))
+
+    def max_value(self, name: str, labels: dict | None = None) -> float | None:
+        """Max over every matching sample's value (None when none match)."""
+        vals = list(self._values(name, labels))
+        return max(vals) if vals else None
+
+    def ranks(self, name: str | None = None) -> list[int]:
+        """Sorted distinct ranks seen (optionally for one metric name)."""
+        return sorted({
+            s.rank for s in self._samples.values()
+            if s.rank is not None and (name is None or s.name == name)
+        })
+
+    def cycles(self) -> list[int]:
+        """Sorted distinct cycle ids seen across all samples."""
+        return sorted({
+            s.cycle for s in self._samples.values() if s.cycle is not None
+        })

@@ -1,0 +1,649 @@
+"""Run reports: turn an exported trace into an ASCII or HTML dashboard.
+
+A trace produced by ``repro step --trace-out`` (or any instrumented run)
+carries the full labelled metric registry — per-cycle partition quality,
+reassignment cost, remap traffic, and per-rank virtual-machine traffic.
+:func:`render_ascii` prints the paper's quality-of-balance quantities as
+aligned tables plus cycle-over-cycle charts
+(:func:`repro.experiments.ascii_plot.ascii_chart`); :func:`render_html`
+emits a single self-contained HTML file with stat tiles, SVG line charts,
+a per-rank timeline, and a top-span table.  Both read only the tracer —
+``repro report <trace.jsonl>`` needs no access to the original mesh.
+"""
+
+from __future__ import annotations
+
+import html as _html
+
+from .tracer import Tracer
+
+__all__ = ["render_ascii", "render_html"]
+
+
+# --- shared data extraction --------------------------------------------------
+
+
+def _fmt(v, nd: int = 4) -> str:
+    """Format a metric value: ints plainly, floats with %.*g, None as '-'."""
+    if v is None:
+        return "-"
+    f = float(v)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return f"{f:.{nd}g}"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _series(tracer: Tracer, name: str, **labels) -> dict[int, float]:
+    return tracer.metrics.series(name, labels=labels or None)
+
+
+def _cycle_rows(tracer: Tracer) -> list[dict]:
+    """One dict per cycle with every per-cycle quantity (None = absent)."""
+    reg = tracer.metrics
+    fields = {
+        "imb_before": _series(tracer, "repro.partition.imbalance", when="before"),
+        "imb_after": _series(tracer, "repro.partition.imbalance", when="after"),
+        "cut_before": _series(tracer, "repro.partition.edgecut", when="before"),
+        "cut_after": _series(tracer, "repro.partition.edgecut", when="after"),
+        "diag_fraction": _series(tracer, "repro.partition.diag_fraction"),
+        "accepted": _series(tracer, "repro.cycle.accepted"),
+        "growth": _series(tracer, "repro.cycle.growth_factor"),
+        "total_seconds": _series(tracer, "repro.cycle.total_seconds"),
+        "elements_moved": _series(tracer, "repro.remap.elements_moved"),
+        "words_moved": _series(tracer, "repro.remap.words_moved"),
+        "remap_messages": _series(tracer, "repro.remap.messages"),
+    }
+    for method in ("greedy", "mwbg"):
+        for quant in ("total_v", "max_v", "max_sr"):
+            fields[f"{quant}_{method}"] = _series(
+                tracer, f"repro.reassign.{quant}", method=method
+            )
+    rows = []
+    for c in reg.cycles():
+        row = {"cycle": c}
+        for key, series in fields.items():
+            row[key] = series.get(c)
+        rows.append(row)
+    return rows
+
+
+_PHASES = ("marking", "repartition", "gather_scatter", "reassign",
+           "remap", "subdivision")
+
+
+def _phase_rows(tracer: Tracer) -> list[dict]:
+    per_phase = {
+        p: _series(tracer, "repro.cycle.phase_seconds", phase=p)
+        for p in _PHASES
+    }
+    total = _series(tracer, "repro.cycle.total_seconds")
+    rows = []
+    for c in tracer.metrics.cycles():
+        row = {"cycle": c, "total": total.get(c)}
+        for p in _PHASES:
+            row[p] = per_phase[p].get(c)
+        rows.append(row)
+    return rows
+
+
+_VM_COLS = (
+    ("msgs sent", "repro.vm.messages_sent"),
+    ("msgs recv", "repro.vm.messages_recv"),
+    ("sync msgs", "repro.vm.sync_messages"),
+    ("words sent", "repro.vm.words_sent"),
+    ("words recv", "repro.vm.words_recv"),
+    ("busy s", "repro.vm.busy_seconds"),
+    ("idle s", "repro.vm.idle_seconds"),
+)
+_LEDGER_COLS = (
+    ("msgs sent", "repro.ledger.messages_sent"),
+    ("msgs recv", "repro.ledger.messages_recv"),
+    ("words sent", "repro.ledger.words_sent"),
+    ("words recv", "repro.ledger.words_recv"),
+)
+
+
+def _rank_rows(tracer: Tracer, cols) -> tuple[list[str], list[list]]:
+    """Per-rank table (summed over cycles) for a metric family."""
+    reg = tracer.metrics
+    per = {label: reg.per_rank(name) for label, name in cols}
+    ranks = sorted({r for d in per.values() for r in d})
+    headers = ["rank"] + [label for label, _ in cols]
+    rows = [
+        [r] + [per[label].get(r) for label, _ in cols] for r in ranks
+    ]
+    return headers, rows
+
+
+def _top_spans(tracer: Tracer, n: int) -> list:
+    closed = [s for s in tracer.spans if not s.open]
+    return sorted(closed, key=lambda s: s.v_duration, reverse=True)[:n]
+
+
+def _makespan(tracer: Tracer) -> float:
+    return max([s.v_end for s in tracer.spans if not s.open] or [0.0])
+
+
+# --- ASCII dashboard ---------------------------------------------------------
+
+
+def render_ascii(tracer: Tracer, source: str = "", top: int = 10) -> str:
+    """Render the trace as an ASCII dashboard (tables + charts)."""
+    from repro.experiments.ascii_plot import ascii_chart
+
+    reg = tracer.metrics
+    cycles = reg.cycles()
+    rows = _cycle_rows(tracer)
+    parts: list[str] = []
+
+    head = "repro run report"
+    if source:
+        head += f" — {source}"
+    parts.append(head)
+    parts.append("=" * len(head))
+    parts.append(
+        f"spans: {sum(1 for s in tracer.spans if not s.open)}   "
+        f"events: {len(tracer.events)}   metric samples: {len(reg)}   "
+        f"cycles: {len(cycles)}   "
+        f"virtual makespan: {_fmt(_makespan(tracer))} s"
+    )
+
+    if rows:
+        parts.append("")
+        parts.append("Balance quality per cycle")
+        parts.append(_table(
+            ["cycle", "imb before", "imb after", "cut before", "cut after",
+             "diag %", "accepted"],
+            [[
+                str(r["cycle"]), _fmt(r["imb_before"]), _fmt(r["imb_after"]),
+                _fmt(r["cut_before"]), _fmt(r["cut_after"]),
+                "-" if r["diag_fraction"] is None
+                else f"{100 * r['diag_fraction']:.1f}",
+                "-" if r["accepted"] is None
+                else ("yes" if r["accepted"] else "no"),
+            ] for r in rows],
+        ))
+
+        if any(r["total_v_greedy"] is not None or r["total_v_mwbg"] is not None
+               for r in rows):
+            parts.append("")
+            parts.append("Reassignment cost (TotalV / MaxV / MaxSR)")
+            parts.append(_table(
+                ["cycle", "TotalV greedy", "TotalV mwbg", "MaxV greedy",
+                 "MaxV mwbg", "MaxSR greedy", "MaxSR mwbg"],
+                [[
+                    str(r["cycle"]),
+                    _fmt(r["total_v_greedy"]), _fmt(r["total_v_mwbg"]),
+                    _fmt(r["max_v_greedy"]), _fmt(r["max_v_mwbg"]),
+                    _fmt(r["max_sr_greedy"]), _fmt(r["max_sr_mwbg"]),
+                ] for r in rows],
+            ))
+
+        if any(r["elements_moved"] is not None for r in rows):
+            parts.append("")
+            parts.append("Remap traffic per cycle")
+            parts.append(_table(
+                ["cycle", "elements moved", "words moved", "messages"],
+                [[
+                    str(r["cycle"]), _fmt(r["elements_moved"]),
+                    _fmt(r["words_moved"]), _fmt(r["remap_messages"]),
+                ] for r in rows],
+            ))
+
+        phase_rows = _phase_rows(tracer)
+        parts.append("")
+        parts.append("Cycle anatomy (virtual seconds per phase)")
+        parts.append(_table(
+            ["cycle"] + list(_PHASES) + ["total"],
+            [[str(r["cycle"])] + [_fmt(r[p]) for p in _PHASES]
+             + [_fmt(r["total"])] for r in phase_rows],
+        ))
+
+    if len(cycles) >= 2:
+        imb = {
+            "before": {c: v for c, v in
+                       _series(tracer, "repro.partition.imbalance",
+                               when="before").items()},
+            "after": {c: v for c, v in
+                      _series(tracer, "repro.partition.imbalance",
+                              when="after").items()},
+        }
+        imb = {k: s for k, s in imb.items() if s}
+        if imb:
+            parts.append("")
+            parts.append(ascii_chart(
+                imb, title="Imbalance factor by cycle", xlabel="cycle"
+            ))
+        tv = {
+            m: _series(tracer, "repro.reassign.total_v", method=m)
+            for m in ("greedy", "mwbg")
+        }
+        tv = {k: s for k, s in tv.items() if s}
+        if tv:
+            parts.append("")
+            parts.append(ascii_chart(
+                tv, title="TotalV by cycle", xlabel="cycle"
+            ))
+
+    for label, cols in (("virtual machine", _VM_COLS),
+                        ("cost ledger", _LEDGER_COLS)):
+        headers, rank_rows = _rank_rows(tracer, cols)
+        if rank_rows:
+            parts.append("")
+            parts.append(f"Per-rank traffic ({label}, summed over cycles)")
+            parts.append(_table(
+                headers, [[_fmt(c) for c in row] for row in rank_rows]
+            ))
+
+    spans = _top_spans(tracer, top)
+    if spans:
+        parts.append("")
+        parts.append(f"Top {len(spans)} spans by virtual duration")
+        parts.append(_table(
+            ["name", "depth", "v_start", "v_seconds", "wall_seconds"],
+            [[
+                s.name, str(s.depth), _fmt(s.v_start),
+                _fmt(s.v_duration), _fmt(s.wall_duration, 3),
+            ] for s in spans],
+        ))
+
+    return "\n".join(parts) + "\n"
+
+
+# --- HTML report -------------------------------------------------------------
+
+_CSS = """
+.viz-root {
+  color-scheme: light;
+  --page:           #f9f9f7;
+  --surface-1:      #fcfcfb;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted:     #898781;
+  --gridline:       #e1e0d9;
+  --baseline:       #c3c2b7;
+  --border:         rgba(11,11,11,0.10);
+  --series-1:       #2a78d6;
+  --series-2:       #eb6834;
+  --series-3:       #1baf7a;
+  background: var(--page);
+  color: var(--text-primary);
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  margin: 0; padding: 24px;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --page:           #0d0d0d;
+    --surface-1:      #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #898781;
+    --gridline:       #2c2c2a;
+    --baseline:       #383835;
+    --border:         rgba(255,255,255,0.10);
+    --series-1:       #3987e5;
+    --series-2:       #d95926;
+    --series-3:       #199e70;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --page:           #0d0d0d;
+  --surface-1:      #1a1a19;
+  --text-primary:   #ffffff;
+  --text-secondary: #c3c2b7;
+  --text-muted:     #898781;
+  --gridline:       #2c2c2a;
+  --baseline:       #383835;
+  --border:         rgba(255,255,255,0.10);
+  --series-1:       #3987e5;
+  --series-2:       #d95926;
+  --series-3:       #199e70;
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root .sub { color: var(--text-secondary); font-size: 13px; margin: 0 0 20px; }
+.viz-root section {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 16px 20px; margin: 0 0 16px;
+}
+.viz-root h2 { font-size: 14px; margin: 0 0 12px; color: var(--text-primary); }
+.viz-root .tiles { display: flex; flex-wrap: wrap; gap: 24px; }
+.viz-root .tile .v { font-size: 24px; }
+.viz-root .tile .k { font-size: 12px; color: var(--text-secondary); }
+.viz-root table {
+  border-collapse: collapse; font-size: 12px;
+  font-variant-numeric: tabular-nums;
+}
+.viz-root th, .viz-root td {
+  padding: 3px 10px; text-align: right;
+  border-bottom: 1px solid var(--gridline);
+}
+.viz-root th { color: var(--text-secondary); font-weight: 600; }
+.viz-root td:first-child, .viz-root th:first-child { text-align: left; }
+.viz-root .legend { font-size: 12px; color: var(--text-secondary); margin: 4px 0 8px; }
+.viz-root .legend .chip {
+  display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+  margin: 0 4px 0 12px; vertical-align: -1px;
+}
+.viz-root .caption { font-size: 11px; color: var(--text-muted); margin-top: 6px; }
+.viz-root svg text { fill: var(--text-muted); font-size: 10px; }
+"""
+
+_SERIES_VARS = ("var(--series-1)", "var(--series-2)", "var(--series-3)")
+
+
+def _svg_line_chart(series: dict[str, dict[int, float]],
+                    width: int = 560, height: int = 200,
+                    xlabel: str = "cycle") -> str:
+    """Multi-series SVG line chart (≤3 series; 2px lines, 8px markers)."""
+    series = {k: s for k, s in list(series.items())[:3] if s}
+    if not series:
+        return ""
+    xs = sorted({x for s in series.values() for x in s})
+    vals = [v for s in series.values() for v in s.values()]
+    lo, hi = min(vals), max(vals)
+    if hi - lo <= 0:
+        lo, hi = lo - 0.5, hi + 0.5
+    pad_l, pad_r, pad_t, pad_b = 48, 12, 8, 22
+    pw, ph = width - pad_l - pad_r, height - pad_t - pad_b
+
+    def px(x):
+        i = xs.index(x)
+        return pad_l + (i / max(len(xs) - 1, 1)) * pw
+
+    def py(v):
+        return pad_t + (1 - (v - lo) / (hi - lo)) * ph
+
+    out = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+           f'height="{height}" role="img">']
+    for frac in (0.0, 0.5, 1.0):
+        y = pad_t + frac * ph
+        out.append(
+            f'<line x1="{pad_l}" y1="{y:.1f}" x2="{width - pad_r}" '
+            f'y2="{y:.1f}" stroke="var(--gridline)" stroke-width="1"/>'
+        )
+    out.append(
+        f'<line x1="{pad_l}" y1="{pad_t + ph}" x2="{width - pad_r}" '
+        f'y2="{pad_t + ph}" stroke="var(--baseline)" stroke-width="1"/>'
+    )
+    out.append(f'<text x="{pad_l - 6}" y="{pad_t + 4}" '
+               f'text-anchor="end">{_fmt(hi, 3)}</text>')
+    out.append(f'<text x="{pad_l - 6}" y="{pad_t + ph + 4}" '
+               f'text-anchor="end">{_fmt(lo, 3)}</text>')
+    for x in xs:
+        out.append(f'<text x="{px(x):.1f}" y="{height - 6}" '
+                   f'text-anchor="middle">{x}</text>')
+    out.append(f'<text x="{width - pad_r}" y="{height - 6}" '
+               f'text-anchor="end">{_html.escape(xlabel)}</text>')
+    for (name, s), color in zip(series.items(), _SERIES_VARS):
+        pts = " ".join(f"{px(x):.1f},{py(v):.1f}"
+                       for x, v in sorted(s.items()))
+        out.append(f'<polyline points="{pts}" fill="none" stroke="{color}" '
+                   f'stroke-width="2"/>')
+        for x, v in sorted(s.items()):
+            out.append(
+                f'<circle cx="{px(x):.1f}" cy="{py(v):.1f}" r="4" '
+                f'fill="{color}"><title>{_html.escape(str(name))}, '
+                f'{xlabel} {x}: {_fmt(v)}</title></circle>'
+            )
+    out.append("</svg>")
+    return "".join(out)
+
+
+def _svg_rank_bars(per_rank: dict[int, float], width: int = 560,
+                   height: int = 160, unit: str = "") -> str:
+    """Horizontal per-rank bar chart (single series, slot-1 hue)."""
+    if not per_rank:
+        return ""
+    ranks = sorted(per_rank)
+    hi = max(per_rank.values()) or 1.0
+    pad_l, pad_r = 48, 12
+    pw = width - pad_l - pad_r
+    bar_h, gap = 14, 4
+    height = max(height, len(ranks) * (bar_h + gap) + 10)
+    out = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+           f'height="{height}" role="img">']
+    for i, r in enumerate(ranks):
+        y = 4 + i * (bar_h + gap)
+        w = (per_rank[r] / hi) * pw if hi else 0
+        out.append(f'<text x="{pad_l - 6}" y="{y + bar_h - 3}" '
+                   f'text-anchor="end">r{r}</text>')
+        out.append(
+            f'<rect x="{pad_l}" y="{y}" width="{max(w, 1):.1f}" '
+            f'height="{bar_h}" rx="2" fill="var(--series-1)">'
+            f'<title>rank {r}: {_fmt(per_rank[r])}{unit}</title></rect>'
+        )
+    out.append("</svg>")
+    return "".join(out)
+
+
+def _html_table(headers: list[str], rows: list[list[str]]) -> str:
+    out = ["<table><thead><tr>"]
+    out.extend(f"<th>{_html.escape(h)}</th>" for h in headers)
+    out.append("</tr></thead><tbody>")
+    for row in rows:
+        out.append("<tr>" + "".join(
+            f"<td>{_html.escape(str(c))}</td>" for c in row) + "</tr>")
+    out.append("</tbody></table>")
+    return "".join(out)
+
+
+def _legend(names: list[str]) -> str:
+    chips = "".join(
+        f'<span class="chip" style="background:{color}"></span>'
+        f"{_html.escape(name)}"
+        for name, color in zip(names, _SERIES_VARS)
+    )
+    return f'<div class="legend">{chips}</div>'
+
+
+_MAX_TIMELINE_SPANS = 600
+_MAX_TIMELINE_EVENTS = 1500
+
+
+def _svg_timeline(tracer: Tracer, width: int = 940) -> tuple[str, str]:
+    """Per-rank timeline: span bands per lane plus VM event ticks.
+
+    Returns ``(svg, caption)``; the caption notes any downsampling.
+    """
+    makespan = _makespan(tracer)
+    if makespan <= 0:
+        return "", ""
+    spans = [s for s in tracer.spans if not s.open]
+    events = [e for e in tracer.events if e.rank is not None]
+    notes = []
+    if len(spans) > _MAX_TIMELINE_SPANS:
+        notes.append(f"showing {_MAX_TIMELINE_SPANS} of {len(spans)} spans "
+                     "(longest kept)")
+        spans = sorted(spans, key=lambda s: s.v_duration,
+                       reverse=True)[:_MAX_TIMELINE_SPANS]
+    if len(events) > _MAX_TIMELINE_EVENTS:
+        stride = -(-len(events) // _MAX_TIMELINE_EVENTS)
+        notes.append(f"showing every {stride}th of {len(events)} VM events")
+        events = events[::stride]
+
+    ranks = sorted({s.rank for s in spans if s.rank is not None}
+                   | {e.rank for e in events})
+    lanes = [None] + ranks  # lane 0 = framework (un-ranked spans)
+    lane_of = {r: i for i, r in enumerate(lanes)}
+    max_depth = max([s.depth for s in spans] or [0])
+    lane_h = 14 * (max_depth + 1) + 6
+    pad_l, pad_r, pad_t = 72, 12, 6
+    pw = width - pad_l - pad_r
+    height = pad_t + len(lanes) * lane_h + 20
+
+    def px(t):
+        return pad_l + (t / makespan) * pw
+
+    out = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+           f'height="{height}" role="img">']
+    for i, lane in enumerate(lanes):
+        y = pad_t + i * lane_h
+        label = "framework" if lane is None else f"rank {lane}"
+        out.append(f'<text x="{pad_l - 6}" y="{y + 12}" '
+                   f'text-anchor="end">{label}</text>')
+        out.append(f'<line x1="{pad_l}" y1="{y + lane_h - 2}" '
+                   f'x2="{width - pad_r}" y2="{y + lane_h - 2}" '
+                   f'stroke="var(--gridline)" stroke-width="1"/>')
+    for s in spans:
+        lane = lane_of.get(s.rank, 0)
+        y = pad_t + lane * lane_h + 2 + s.depth * 14
+        w = max((s.v_duration / makespan) * pw, 1.0)
+        out.append(
+            f'<rect x="{px(s.v_start):.1f}" y="{y}" width="{w:.1f}" '
+            f'height="10" rx="2" fill="var(--series-1)" '
+            f'fill-opacity="{max(0.25, 0.9 - 0.18 * s.depth):.2f}">'
+            f'<title>{_html.escape(s.name)}: {_fmt(s.v_duration)} s virtual '
+            f'(start {_fmt(s.v_start)})</title></rect>'
+        )
+    for e in events:
+        lane = lane_of.get(e.rank, 0)
+        y = pad_t + lane * lane_h + lane_h - 8
+        out.append(
+            f'<line x1="{px(e.v_time):.1f}" y1="{y}" '
+            f'x2="{px(e.v_time):.1f}" y2="{y + 5}" '
+            f'stroke="var(--series-2)" stroke-width="1">'
+            f'<title>{_html.escape(e.name)} @ {_fmt(e.v_time)} s</title>'
+            f"</line>"
+        )
+    out.append(f'<text x="{pad_l}" y="{height - 6}">0 s</text>')
+    out.append(f'<text x="{width - pad_r}" y="{height - 6}" '
+               f'text-anchor="end">{_fmt(makespan)} s (virtual)</text>')
+    out.append("</svg>")
+    return "".join(out), "; ".join(notes)
+
+
+def render_html(tracer: Tracer, title: str = "repro run report",
+                source: str = "", top: int = 10) -> str:
+    """Render the trace as a single self-contained HTML report."""
+    reg = tracer.metrics
+    rows = _cycle_rows(tracer)
+    cycles = reg.cycles()
+    makespan = _makespan(tracer)
+    sections: list[str] = []
+
+    tiles = [
+        ("cycles", str(len(cycles))),
+        ("virtual makespan", f"{_fmt(makespan)} s"),
+        ("metric samples", str(len(reg))),
+        ("max imbalance (before)",
+         _fmt(reg.max_value("repro.partition.imbalance", {"when": "before"}))),
+        ("max imbalance (after)",
+         _fmt(reg.max_value("repro.partition.imbalance", {"when": "after"}))),
+        ("total remap words",
+         _fmt(reg.total("repro.remap.words_moved"))),
+    ]
+    tile_html = "".join(
+        f'<div class="tile"><div class="v">{_html.escape(v)}</div>'
+        f'<div class="k">{_html.escape(k)}</div></div>'
+        for k, v in tiles
+    )
+    sections.append(f'<section><div class="tiles">{tile_html}</div></section>')
+
+    imb = {
+        "before": _series(tracer, "repro.partition.imbalance", when="before"),
+        "after": _series(tracer, "repro.partition.imbalance", when="after"),
+    }
+    imb = {k: s for k, s in imb.items() if s}
+    if imb:
+        chart = _svg_line_chart(imb)
+        table = _html_table(
+            ["cycle", "imbalance before", "imbalance after", "edge cut before",
+             "edge cut after", "diag %", "accepted"],
+            [[
+                r["cycle"], _fmt(r["imb_before"]), _fmt(r["imb_after"]),
+                _fmt(r["cut_before"]), _fmt(r["cut_after"]),
+                "-" if r["diag_fraction"] is None
+                else f"{100 * r['diag_fraction']:.1f}",
+                "-" if r["accepted"] is None
+                else ("yes" if r["accepted"] else "no"),
+            ] for r in rows],
+        )
+        sections.append(
+            "<section><h2>Partition quality by cycle</h2>"
+            + _legend(list(imb)) + chart + table + "</section>"
+        )
+
+    tv = {m: _series(tracer, "repro.reassign.total_v", method=m)
+          for m in ("greedy", "mwbg")}
+    tv = {k: s for k, s in tv.items() if s}
+    if tv:
+        chart = _svg_line_chart(tv)
+        table = _html_table(
+            ["cycle", "TotalV greedy", "TotalV mwbg", "MaxV greedy",
+             "MaxV mwbg", "MaxSR greedy", "MaxSR mwbg"],
+            [[
+                r["cycle"],
+                _fmt(r["total_v_greedy"]), _fmt(r["total_v_mwbg"]),
+                _fmt(r["max_v_greedy"]), _fmt(r["max_v_mwbg"]),
+                _fmt(r["max_sr_greedy"]), _fmt(r["max_sr_mwbg"]),
+            ] for r in rows],
+        )
+        sections.append(
+            "<section><h2>Reassignment cost (TotalV / MaxV / MaxSR)</h2>"
+            + _legend(list(tv)) + chart + table + "</section>"
+        )
+
+    timeline, note = _svg_timeline(tracer)
+    if timeline:
+        caption = f'<div class="caption">{_html.escape(note)}</div>' if note else ""
+        sections.append(
+            "<section><h2>Per-rank timeline (virtual clock)</h2>"
+            + timeline + caption + "</section>"
+        )
+
+    for label, cols in (("virtual machine", _VM_COLS),
+                        ("cost ledger", _LEDGER_COLS)):
+        headers, rank_rows = _rank_rows(tracer, cols)
+        if not rank_rows:
+            continue
+        words = reg.per_rank(
+            "repro.vm.words_sent" if label == "virtual machine"
+            else "repro.ledger.words_sent"
+        )
+        bars = _svg_rank_bars(words, unit=" words sent")
+        table = _html_table(
+            headers, [[_fmt(c) for c in row] for row in rank_rows]
+        )
+        sections.append(
+            f"<section><h2>Per-rank traffic — {label}</h2>"
+            + bars + table + "</section>"
+        )
+
+    spans = _top_spans(tracer, top)
+    if spans:
+        table = _html_table(
+            ["name", "depth", "v_start (s)", "virtual (s)", "wall (s)"],
+            [[s.name, s.depth, _fmt(s.v_start), _fmt(s.v_duration),
+              _fmt(s.wall_duration, 3)] for s in spans],
+        )
+        sections.append(
+            f"<section><h2>Top {len(spans)} spans by virtual duration</h2>"
+            + table + "</section>"
+        )
+
+    sub = _html.escape(source) if source else ""
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_html.escape(title)}</title>\n"
+        f"<style>{_CSS}</style></head>\n"
+        '<body class="viz-root">\n'
+        f"<h1>{_html.escape(title)}</h1>\n"
+        f'<p class="sub">{sub}</p>\n'
+        + "\n".join(sections)
+        + "\n</body></html>\n"
+    )

@@ -16,6 +16,8 @@ from contextlib import contextmanager, nullcontext
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 
+from .metrics import MetricsRegistry
+
 __all__ = [
     "PointEvent",
     "Span",
@@ -80,6 +82,9 @@ class Tracer:
         self.events: list[PointEvent] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        self.metrics = MetricsRegistry()
+        self.cycle: int | None = None  #: current adaptation cycle id
+        self._next_cycle = 0
         self._stack: list[Span] = []
         self._vclock = 0.0
         self._wall = wall_clock
@@ -143,12 +148,55 @@ class Tracer:
         return ev
 
     def count(self, name: str, value: float = 1) -> None:
-        """Add ``value`` to the named monotone counter."""
+        """Add ``value`` to the named flat (legacy) monotone counter.
+
+        Flat counters have no labels, cycle, or rank, so two instrumented
+        sites using the same name merge into one number — prefer
+        :meth:`metric` for anything that needs a time series.  The name is
+        noted in the labelled registry so a collision with a labelled
+        metric warns instead of silently splitting the data in two.
+        """
+        self.metrics.note_legacy(name)
         self.counters[name] = self.counters.get(name, 0) + value
 
     def gauge(self, name: str, value: float) -> None:
-        """Set the named gauge to its latest observed value."""
+        """Set the named flat (legacy) gauge to its latest observed value."""
+        self.metrics.note_legacy(name)
         self.gauges[name] = value
+
+    # --- labelled metrics --------------------------------------------------
+
+    def begin_cycle(self) -> int:
+        """Start the next adaptation cycle; labelled metrics recorded until
+        the next call default their ``cycle`` to the returned id."""
+        self.cycle = self._next_cycle
+        self._next_cycle += 1
+        return self.cycle
+
+    def metric(
+        self,
+        name: str,
+        value,
+        kind: str = "gauge",
+        rank: int | None = None,
+        cycle: int | None = None,
+        **labels,
+    ):
+        """Record a labelled metric sample (see :mod:`repro.obs.metrics`).
+
+        ``cycle`` defaults to the current cycle (:meth:`begin_cycle`), and
+        the sample is stamped with the current virtual time.  Label values
+        are coerced to strings.
+        """
+        return self.metrics.record(
+            name,
+            value,
+            kind=kind,
+            labels=labels or None,
+            cycle=self.cycle if cycle is None else cycle,
+            rank=rank,
+            v_time=self._vclock,
+        )
 
     # --- queries ------------------------------------------------------------
 

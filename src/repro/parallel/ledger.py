@@ -29,7 +29,10 @@ class CostLedger:
 
     With ``tracer`` set to a :class:`repro.obs.Tracer`, every charged
     message/word is also added to the ``ledger.messages`` /
-    ``ledger.words`` counters, so traffic shows up in exported traces.
+    ``ledger.words`` counters, and per-rank traffic is recorded as
+    labelled metrics (``repro.ledger.messages_sent`` / ``messages_recv``
+    / ``words_sent`` / ``words_recv``), so traffic shows up in exported
+    traces with the rank dimension intact.
     """
 
     def __init__(self, nranks: int, machine: MachineModel = SP2_1997,
@@ -76,6 +79,12 @@ class CostLedger:
         self.clocks[src] += t
         self.clocks[dst] += self.machine.t_setup
         self._count_traffic(1, nwords)
+        if self.tracer is not None:
+            m = self.tracer.metric
+            m("repro.ledger.messages_sent", 1, kind="counter", rank=src)
+            m("repro.ledger.messages_recv", 1, kind="counter", rank=dst)
+            m("repro.ledger.words_sent", nwords, kind="counter", rank=src)
+            m("repro.ledger.words_recv", nwords, kind="counter", rank=dst)
 
     def add_exchange(self, volume: np.ndarray) -> None:
         """Charge a full exchange from a ``(P, P)`` word-volume matrix.
@@ -99,6 +108,21 @@ class CostLedger:
         recv_t = nmsg_in * self.machine.t_setup + off.sum(axis=0) * self.machine.t_word
         self.clocks += np.maximum(send_t, recv_t)
         self._count_traffic(int((off > 0).sum()), int(off.sum()))
+        if self.tracer is not None:
+            m = self.tracer.metric
+            words_out = off.sum(axis=1)
+            words_in = off.sum(axis=0)
+            for r in range(self.nranks):
+                if nmsg_out[r]:
+                    m("repro.ledger.messages_sent", int(nmsg_out[r]),
+                      kind="counter", rank=r)
+                    m("repro.ledger.words_sent", int(words_out[r]),
+                      kind="counter", rank=r)
+                if nmsg_in[r]:
+                    m("repro.ledger.messages_recv", int(nmsg_in[r]),
+                      kind="counter", rank=r)
+                    m("repro.ledger.words_recv", int(words_in[r]),
+                      kind="counter", rank=r)
 
     def barrier(self) -> None:
         """Synchronise all ranks: max clock plus log2(P) startup rounds."""

@@ -206,6 +206,11 @@ class _Rank:
     )
     words_sent: int = 0
     msgs_sent: int = 0
+    words_recv: int = 0
+    msgs_recv: int = 0
+    data_msgs_sent: int = 0  # payload-bearing sends (nwords > 0)
+    data_msgs_recv: int = 0
+    waited: float = 0.0  # virtual seconds blocked waiting for arrivals
 
 
 @dataclass(frozen=True)
@@ -228,6 +233,11 @@ class RunResult:
     total_words: int
     words_sent_per_rank: list[int]
     trace: list[TraceEvent] | None = None
+    words_recv_per_rank: list[int] = field(default_factory=list)
+    msgs_sent_per_rank: list[int] = field(default_factory=list)
+    msgs_recv_per_rank: list[int] = field(default_factory=list)
+    busy_per_rank: list[float] = field(default_factory=list)
+    idle_per_rank: list[float] = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -244,7 +254,14 @@ class VirtualMachine:
     set to a :class:`repro.obs.Tracer`, the same events are mirrored into
     it as point events named ``vm.<kind>`` (offset by the tracer's virtual
     clock at the start of the run) and the run's message/word totals are
-    added to the ``vm.messages`` / ``vm.words`` counters.
+    added to the ``vm.messages`` / ``vm.words`` counters.  Per-rank traffic
+    is additionally recorded as labelled metrics: ``repro.vm.messages_sent``
+    / ``messages_recv`` count payload-bearing messages only (zero-word
+    synchronisation messages go to ``repro.vm.sync_messages`` so word and
+    message totals stay comparable with the cost ledger),
+    ``repro.vm.words_sent`` / ``words_recv`` count 8-byte words, and
+    ``repro.vm.busy_seconds`` / ``idle_seconds`` split each rank's share of
+    the makespan into working and blocked-waiting virtual time.
     """
 
     def __init__(self, nranks: int, machine: MachineModel = SP2_1997,
@@ -319,6 +336,8 @@ class VirtualMachine:
                 st.clock += self.machine.msg_time(op.nwords)
                 st.words_sent += op.nwords
                 st.msgs_sent += 1
+                if op.nwords > 0:
+                    st.data_msgs_sent += 1
                 seq += 1
                 if events is not None:
                     events.append(
@@ -337,6 +356,10 @@ class VirtualMachine:
                 # the mailbox check costs t_setup whether or not it matches
                 st.clock += self.machine.t_setup
                 if msg is not None:
+                    st.words_recv += msg.nwords
+                    st.msgs_recv += 1
+                    if msg.nwords > 0:
+                        st.data_msgs_recv += 1
                     st.send_value = (True, (msg.payload, msg.source, msg.tag))
                 else:
                     st.send_value = (False, None)
@@ -362,6 +385,10 @@ class VirtualMachine:
                 blocked=[_blocked_record(s) for s in stuck],
             )
 
+        makespan = max((s.clock for s in ranks), default=0.0)
+        busy = [s.clock - s.waited for s in ranks]
+        idle = [makespan - b for b in busy]
+
         if self.tracer is not None and events is not None:
             base = self.tracer.virtual_now
             for ev in events:
@@ -371,6 +398,22 @@ class VirtualMachine:
                 )
             self.tracer.count("vm.messages", sum(s.msgs_sent for s in ranks))
             self.tracer.count("vm.words", sum(s.words_sent for s in ranks))
+            for s in ranks:
+                m = self.tracer.metric
+                m("repro.vm.messages_sent", s.data_msgs_sent,
+                  kind="counter", rank=s.rank)
+                m("repro.vm.messages_recv", s.data_msgs_recv,
+                  kind="counter", rank=s.rank)
+                m("repro.vm.sync_messages", s.msgs_sent - s.data_msgs_sent,
+                  kind="counter", rank=s.rank)
+                m("repro.vm.words_sent", s.words_sent,
+                  kind="counter", rank=s.rank)
+                m("repro.vm.words_recv", s.words_recv,
+                  kind="counter", rank=s.rank)
+                m("repro.vm.busy_seconds", busy[s.rank],
+                  kind="counter", rank=s.rank)
+                m("repro.vm.idle_seconds", idle[s.rank],
+                  kind="counter", rank=s.rank)
 
         return RunResult(
             returns=[s.retval for s in ranks],
@@ -379,6 +422,11 @@ class VirtualMachine:
             total_words=sum(s.words_sent for s in ranks),
             words_sent_per_rank=[s.words_sent for s in ranks],
             trace=events if self.trace else None,
+            words_recv_per_rank=[s.words_recv for s in ranks],
+            msgs_sent_per_rank=[s.msgs_sent for s in ranks],
+            msgs_recv_per_rank=[s.msgs_recv for s in ranks],
+            busy_per_rank=busy,
+            idle_per_rank=idle,
         )
 
     @staticmethod
@@ -393,7 +441,12 @@ class VirtualMachine:
         best = st.mailbox.pop_match(op.source, op.tag)
         assert best is not None, "deliver called without a matching message"
         st.blocked_on = None
+        st.waited += max(0.0, best.arrival - (st.clock + self.machine.t_setup))
         st.clock = max(st.clock + self.machine.t_setup, best.arrival)
+        st.words_recv += best.nwords
+        st.msgs_recv += 1
+        if best.nwords > 0:
+            st.data_msgs_recv += 1
         if events is not None:
             events.append(
                 TraceEvent(st.clock, st.rank, "recv",

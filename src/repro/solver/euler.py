@@ -34,6 +34,7 @@ import numpy as np
 from repro.kernels import reference_enabled, scatter_add_rows
 from repro.mesh.tetmesh import TetMesh
 from repro.mesh.topology import LOCAL_EDGES
+from repro.obs import current_tracer
 
 from .state import GAMMA, max_wave_speed, primitive
 
@@ -262,6 +263,15 @@ class EulerSolver:
             q1 = self._stage(q0, dt)
             q2 = 0.75 * q0 + 0.25 * self._stage(q1, dt)
             self.q = q0 / 3.0 + (2.0 / 3.0) * self._stage(q2, dt)
+        tracer = current_tracer()
+        if tracer is not None and dt > 0:
+            dq = (self.q - q0) / dt
+            tracer.metric(
+                "repro.solver.residual_norm",
+                float(np.sqrt(np.mean(dq * dq))),
+                kind="histogram",
+                scheme=self.time_scheme,
+            )
         return dt
 
     def run(self, n_steps: int, cfl: float = 0.5) -> np.ndarray:

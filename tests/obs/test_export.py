@@ -6,6 +6,7 @@ import pytest
 
 from repro.obs import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
     SchemaError,
     Tracer,
     export_chrome_trace,
@@ -27,6 +28,18 @@ def sample_tracer() -> Tracer:
             tr.advance(0.5)
     tr.count("messages", 3)
     tr.gauge("imbalance", 1.08)
+    return tr
+
+
+def metric_tracer() -> Tracer:
+    tr = sample_tracer()
+    tr.begin_cycle()
+    tr.metric("repro.partition.imbalance", 1.12, when="before")
+    tr.metric("repro.partition.imbalance", 1.03, when="after")
+    tr.metric("repro.vm.words_sent", 128, kind="counter", rank=0)
+    tr.metric("repro.vm.words_sent", 64, kind="counter", rank=1)
+    tr.metric("repro.solver.residual_norm", 0.5, kind="histogram")
+    tr.metric("repro.solver.residual_norm", 0.25, kind="histogram")
     return tr
 
 
@@ -55,7 +68,81 @@ def test_validate_accepts_fresh_export(tmp_path):
     path = tmp_path / "trace.jsonl"
     export_jsonl(sample_tracer(), path)
     summary = validate_jsonl(path)
-    assert summary == {"spans": 3, "events": 1, "counters": 1, "gauges": 1}
+    assert summary == {"spans": 3, "events": 1, "counters": 1, "gauges": 1,
+                       "metrics": 0}
+
+
+def test_metric_roundtrip(tmp_path):
+    tr = metric_tracer()
+    path = tmp_path / "trace.jsonl"
+    export_jsonl(tr, path)
+    assert validate_jsonl(path)["metrics"] == len(tr.metrics)
+
+    back = read_jsonl(path)
+    assert back.metrics.samples() == tr.metrics.samples()
+    # counters keep their per-rank keys, histograms their full value lists
+    assert back.metrics.per_rank("repro.vm.words_sent") == {0: 128.0, 1: 64.0}
+    assert back.metrics.get("repro.solver.residual_norm",
+                            cycle=0) == [0.5, 0.25]
+    # the cycle counter resumes after the last recorded cycle
+    assert back.begin_cycle() == 1
+
+
+def test_v1_files_still_accepted(tmp_path):
+    path = tmp_path / "v1.jsonl"
+    meta = {"type": "meta", "schema": "repro.obs/v1", "spans": 0,
+            "events": 0, "counters": 1, "gauges": 0}
+    counter = {"type": "counter", "name": "messages", "value": 3}
+    path.write_text(json.dumps(meta) + "\n" + json.dumps(counter) + "\n")
+    assert "repro.obs/v1" in SUPPORTED_SCHEMAS
+    summary = validate_jsonl(path)
+    assert summary["counters"] == 1 and summary["metrics"] == 0
+    assert read_jsonl(path).counters == {"messages": 3}
+
+
+def test_metric_record_rejected_in_v1_file(tmp_path):
+    path = tmp_path / "v1.jsonl"
+    meta = {"type": "meta", "schema": "repro.obs/v1", "spans": 0,
+            "events": 0, "counters": 0, "gauges": 0}
+    metric = {"type": "metric", "name": "x", "kind": "gauge", "value": 1.0,
+              "labels": {}, "cycle": None, "rank": None, "v_time": 0.0}
+    path.write_text(json.dumps(meta) + "\n" + json.dumps(metric) + "\n")
+    with pytest.raises(SchemaError, match="metric records require"):
+        validate_jsonl(path)
+
+
+def _v2_meta(**counts) -> dict:
+    base = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 0,
+            "events": 0, "counters": 0, "gauges": 0, "metrics": 0}
+    base.update(counts)
+    return base
+
+
+@pytest.mark.parametrize("bad, match", [
+    ({"kind": "sampler"}, "not in"),
+    ({"value": "high"}, "must be a number"),
+    ({"kind": "histogram", "value": 3.0}, "list of numbers"),
+    ({"labels": {"method": 2}}, "str to str"),
+    ({"cycle": 1.5}, "int or null"),
+])
+def test_validate_rejects_bad_metric(tmp_path, bad, match):
+    rec = {"type": "metric", "name": "x", "kind": "gauge", "value": 1.0,
+           "labels": {}, "cycle": None, "rank": None, "v_time": 0.0}
+    rec.update(bad)
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps(_v2_meta(metrics=1)) + "\n"
+                    + json.dumps(rec) + "\n")
+    with pytest.raises(SchemaError, match=match):
+        validate_jsonl(path)
+
+
+def test_validate_rejects_v2_meta_without_metric_count(tmp_path):
+    meta = _v2_meta()
+    del meta["metrics"]
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps(meta) + "\n")
+    with pytest.raises(SchemaError, match="metrics"):
+        validate_jsonl(path)
 
 
 def test_open_spans_are_skipped(tmp_path):
@@ -100,7 +187,7 @@ def test_validate_rejects_wrong_schema_version(tmp_path):
 def test_validate_rejects_count_mismatch(tmp_path):
     path = tmp_path / "bad.jsonl"
     meta = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 2,
-            "events": 0, "counters": 0, "gauges": 0}
+            "events": 0, "counters": 0, "gauges": 0, "metrics": 0}
     path.write_text(json.dumps(meta) + "\n")
     with pytest.raises(SchemaError, match="declares 2 spans"):
         validate_jsonl(path)
@@ -109,7 +196,7 @@ def test_validate_rejects_count_mismatch(tmp_path):
 def test_validate_rejects_backwards_span(tmp_path):
     path = tmp_path / "bad.jsonl"
     meta = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 1,
-            "events": 0, "counters": 0, "gauges": 0}
+            "events": 0, "counters": 0, "gauges": 0, "metrics": 0}
     span = {"type": "span", "index": 0, "parent": None, "depth": 0,
             "name": "x", "rank": None, "v_start": 5.0, "v_end": 1.0,
             "wall_start": 0.0, "wall_end": 1.0, "attrs": {}}
@@ -121,7 +208,7 @@ def test_validate_rejects_backwards_span(tmp_path):
 def test_validate_rejects_dangling_parent(tmp_path):
     path = tmp_path / "bad.jsonl"
     meta = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 1,
-            "events": 0, "counters": 0, "gauges": 0}
+            "events": 0, "counters": 0, "gauges": 0, "metrics": 0}
     span = {"type": "span", "index": 3, "parent": 99, "depth": 1,
             "name": "x", "rank": None, "v_start": 0.0, "v_end": 1.0,
             "wall_start": 0.0, "wall_end": 1.0, "attrs": {}}
@@ -133,7 +220,7 @@ def test_validate_rejects_dangling_parent(tmp_path):
 def test_validate_rejects_missing_field(tmp_path):
     path = tmp_path / "bad.jsonl"
     meta = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 0,
-            "events": 1, "counters": 0, "gauges": 0}
+            "events": 1, "counters": 0, "gauges": 0, "metrics": 0}
     event = {"type": "event", "v_time": 0.0, "attrs": {}}  # no name
     path.write_text(json.dumps(meta) + "\n" + json.dumps(event) + "\n")
     with pytest.raises(SchemaError, match="missing 'name'"):
