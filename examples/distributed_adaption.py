@@ -6,6 +6,12 @@ marking-propagation loop running as real SPMD rank programs on the virtual
 machine, element migration to a rebalanced partition, subdivision, and the
 finalization gather back to one global mesh.
 
+The pipeline runs under an ambient tracer, so every virtual-machine
+phase leaves its causal message DAG behind; at the end the example
+checks the makespan identity (critical-path length == recorded makespan,
+bit-for-bit, with a zero-slack rank in every run) and prints the
+critical-path attribution across the three distributed phases.
+
 Run:  python examples/distributed_adaption.py
 """
 
@@ -14,12 +20,29 @@ import numpy as np
 from repro.adapt import AdaptiveMesh, mark_sphere, propagate_markings
 from repro.dist import decompose, finalize, migrate, parallel_mark
 from repro.mesh import box_mesh
+from repro.obs import (
+    Tracer,
+    analyze,
+    critical_path,
+    format_critical_path,
+    rank_stats,
+    runs_from_tracer,
+    use_tracer,
+    verify_makespans,
+)
 from repro.partition import Graph, multilevel_kway, repartition
 
 NPROC = 6
 
 
 def main() -> None:
+    tracer = Tracer()
+    with use_tracer(tracer):
+        _pipeline(tracer)
+    _check_causal_record(tracer)
+
+
+def _pipeline(tracer: Tracer) -> None:
     mesh = box_mesh(4, 4, 4)
     dual = Graph.from_pairs(mesh.dual_pairs, mesh.ne)
     part = multilevel_kway(dual, NPROC, seed=0)
@@ -32,7 +55,9 @@ def main() -> None:
 
     # --- execution phase: distributed marking propagation ----------------------
     marks = mark_sphere(mesh, (0.3, 0.3, 0.3), 0.35)
-    result = parallel_mark(mesh, locals_, marks)
+    with tracer.phase("marking"):
+        result = parallel_mark(mesh, locals_, marks)
+        tracer.advance(result.time_seconds)
     serial = propagate_markings(mesh, marks)
     assert np.array_equal(result.edge_marked, serial.edge_marked)
     print(f"marking: {marks.sum()} edges targeted -> "
@@ -45,18 +70,36 @@ def main() -> None:
     marking = am.mark(edge_mask=result.edge_marked)
     wcomp_pred, _ = am.predicted_weights(marking)
     new_part = repartition(dual.with_vwgt(wcomp_pred), NPROC, part, seed=0)
-    mig = migrate(mesh, locals_, new_part)
+    with tracer.phase("remap"):
+        mig = migrate(mesh, locals_, new_part)
+        tracer.advance(mig.seconds)
     print(f"migration: moved {mig.elements_moved} elements in "
           f"{mig.messages} messages ({mig.seconds * 1e3:.2f} virtual ms)")
 
     # --- subdivide, then gather one global mesh --------------------------------
     am.refine(marking)
-    fin = finalize(mig.locals)
+    with tracer.phase("gather_scatter"):
+        fin = finalize(mig.locals)
+        tracer.advance(fin.gather_seconds)
     assert fin.mesh.ne == mesh.ne  # pre-subdivision grid reassembles exactly
     print(f"finalization: gathered {fin.mesh.ne} elements / {fin.mesh.nv} "
           f"vertices in {fin.gather_seconds * 1e3:.2f} virtual ms")
     print(f"refined global mesh: {am.mesh.ne} elements "
           f"(G = {am.mesh.ne / mesh.ne:.2f})")
+
+
+def _check_causal_record(tracer: Tracer) -> None:
+    runs = runs_from_tracer(tracer)
+    assert runs, "every distributed phase should leave a causal record"
+    for run in runs:
+        path = critical_path(run)
+        assert path.length == run.makespan  # exact, not approximate
+        assert any(st.slack == 0.0 for st in rank_stats(run, path))
+    nruns = verify_makespans(tracer)
+    print(f"\nmakespan identity verified on {nruns} vm runs "
+          "(critical-path length == makespan, to the last bit)")
+    print("\ncritical-path attribution:")
+    print(format_critical_path(analyze(tracer), top=5))
 
 
 if __name__ == "__main__":

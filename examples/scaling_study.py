@@ -6,9 +6,13 @@ parallel mesh adaptor speeds up with processors, and how much data movement
 the remap-before-subdivision ordering saves.
 
 The whole sweep runs under an ambient tracer; alongside the table it
-exports the trace as ``scaling_study.jsonl`` (schema ``repro.obs/v2``)
-and renders the run-report dashboard to ``scaling_study.html`` — the
-same artifacts ``repro report <trace.jsonl>`` produces.
+exports the trace as ``scaling_study.jsonl`` (schema ``repro.obs/v3``,
+causal message DAG included) and renders the run-report dashboard to
+``scaling_study.html`` — the same artifacts ``repro report
+<trace.jsonl>`` produces.  Before printing the critical-path
+composition it re-reads the exported file and checks the makespan
+identity: every virtual-machine run's critical-path length must equal
+its recorded makespan bit-for-bit.
 
 Run:  python examples/scaling_study.py [resolution] [strategy]
       (strategy one of Real_1, Real_2, Real_3; default Real_1)
@@ -18,7 +22,16 @@ import sys
 
 from repro.experiments import case_for, run_step
 from repro.experiments.sweep import SWEEP_PROCS
-from repro.obs import Tracer, export_jsonl, render_html, use_tracer
+from repro.obs import (
+    Tracer,
+    analyze,
+    export_jsonl,
+    format_critical_path,
+    read_jsonl,
+    render_html,
+    use_tracer,
+    verify_makespans,
+)
 
 
 def main(resolution: int = 8, strategy: str = "Real_1") -> None:
@@ -55,6 +68,15 @@ def main(resolution: int = 8, strategy: str = "Real_1") -> None:
     print(f"\nwrote {n} trace records to {trace_path}")
     print(f"wrote run report to {html_path} "
           f"(or render later: python -m repro report {trace_path})")
+
+    # the causal record must explain the schedule exactly: for every VM
+    # run in the exported file, critical-path length == makespan bit-for-bit
+    reread = read_jsonl(trace_path)
+    nruns = verify_makespans(reread)
+    print(f"\nmakespan identity verified on {nruns} vm runs "
+          "(critical-path length == makespan, to the last bit)")
+    print("\ncritical-path composition of the whole sweep:")
+    print(format_critical_path(analyze(reread), top=5))
 
 
 if __name__ == "__main__":

@@ -1,12 +1,15 @@
 #!/bin/sh
-# CI entry point: unit tests, trace smoke check, report smoke, bench gate.
+# CI entry point: unit tests, trace smoke check, report + critical-path
+# smoke, bench gate.
 #
 # The report smoke exports a one-step trace and renders the run-report
-# dashboard from it; it fails if the report exits nonzero or omits the
-# cycle's balance-quality row.  The bench gate runs the quick profile
-# (resolution 4, subset) and fails on schema violations, >15% wall-time
-# regression vs the committed BENCH_results.json, or any drift in the
-# virtual-second series.
+# dashboard and the critical-path breakdown from it; it fails if either
+# command exits nonzero, the report omits the cycle's balance-quality
+# row, or the breakdown omits the makespan attribution.  The bench gate
+# runs the quick profile (resolution 4, subset) and fails on schema
+# violations, >15% wall-time regression vs the committed
+# BENCH_results.json, or any drift in the virtual-second series (which
+# stays bit-identical: causal recording never alters modelled clocks).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -18,7 +21,12 @@ trap 'rm -rf "$tmp"' EXIT
 PYTHONPATH=src python -m repro step 4 --nproc 4 --trace-out "$tmp/step.jsonl" > /dev/null
 PYTHONPATH=src python -m repro report "$tmp/step.jsonl" --format ascii > "$tmp/report.txt"
 grep -q "Balance quality per cycle" "$tmp/report.txt"
+grep -q "Critical path" "$tmp/report.txt"
 grep -Eq "^ *0 " "$tmp/report.txt"
+PYTHONPATH=src python -m repro critical-path "$tmp/step.jsonl" > "$tmp/cpath.txt"
+grep -q "critical-path attribution by" "$tmp/cpath.txt"
+PYTHONPATH=src python -m repro diff "$tmp/step.jsonl" "$tmp/step.jsonl" > "$tmp/diff.txt"
+grep -q "delta: +0.000000s" "$tmp/diff.txt"
 echo "report smoke: OK"
 
 python scripts/bench_suite.py --quick --baseline BENCH_results.json --no-write

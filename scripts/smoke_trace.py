@@ -3,12 +3,14 @@
 
 Runs ``python -m repro step --trace-out`` on a tiny mesh (resolution 4,
 a few hundred elements — seconds of wall time), then validates the
-emitted JSONL against the ``repro.obs/v2`` schema and sanity-checks the
+emitted JSONL against the ``repro.obs/v3`` schema and sanity-checks the
 span tree: the step must contain marking/subdivision spans and the root
 span's virtual duration must equal the sum of its phase leaves.  The
-trace must carry labelled metric samples, and ``repro report`` must
-render it as both an ASCII dashboard (mentioning every cycle) and a
-non-empty HTML file.
+trace must carry labelled metric samples and a causal record whose
+critical path reproduces every VM run's makespan bit-for-bit, the
+Chrome export must carry flow events for the delivered messages, and
+``repro report`` / ``repro critical-path`` / ``repro diff`` must all
+render from the file alone.
 
 Exit status 0 on success, 1 with a diagnostic on any failure.
 
@@ -35,7 +37,13 @@ def fail(msg: str) -> "int":
 
 
 def main() -> int:
-    from repro.obs import SCHEMA_VERSION, SchemaError, read_jsonl, validate_jsonl
+    from repro.obs import (
+        SCHEMA_VERSION,
+        SchemaError,
+        read_jsonl,
+        validate_jsonl,
+        verify_makespans,
+    )
 
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
@@ -84,8 +92,24 @@ def main() -> int:
                 f"phase leaves sum to {leaf_sum} but the root span spans "
                 f"{roots[0].v_duration} virtual seconds"
             )
+        # v3 causal record: node/msg records present, makespan identity holds
+        if summary.get("nodes", 0) == 0:
+            return fail("trace contains no causal nodes")
+        if summary.get("msgs", 0) == 0:
+            return fail("trace contains no causal message records")
+        try:
+            nruns = verify_makespans(tracer)
+        except AssertionError as exc:
+            return fail(f"makespan identity violated: {exc}")
+        if nruns == 0:
+            return fail("trace records no vm runs to verify")
+
         if not os.path.exists(chrome) or os.path.getsize(chrome) == 0:
             return fail("Chrome trace was not written")
+        with open(chrome) as fh:
+            chrome_text = fh.read()
+        if '"ph": "s"' not in chrome_text or '"ph": "f"' not in chrome_text:
+            return fail("Chrome trace carries no send->recv flow events")
 
         # the run report must render from the trace alone: ASCII mentioning
         # every recorded cycle, plus a self-contained HTML file with charts
@@ -112,10 +136,39 @@ def main() -> int:
             html_text = fh.read()
         if "<svg" not in html_text:
             return fail("HTML report contains no SVG charts")
+        if "Critical path" not in html_text:
+            return fail("HTML report omits the critical-path section")
+
+        # the critical-path breakdown must render from the file alone
+        cmd = [sys.executable, "-m", "repro", "critical-path", jsonl]
+        proc = subprocess.run(
+            cmd, env=env, cwd=REPO, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            return fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                        f"{proc.stdout}\n{proc.stderr}")
+        for needle in ("makespan:", "critical-path attribution by",
+                       "stragglers per cycle"):
+            if needle not in proc.stdout:
+                return fail(f"critical-path output omits {needle!r}")
+
+        # diffing a trace against itself must report a zero makespan delta
+        cmd = [sys.executable, "-m", "repro", "diff", jsonl, jsonl]
+        proc = subprocess.run(
+            cmd, env=env, cwd=REPO, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            return fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                        f"{proc.stdout}\n{proc.stderr}")
+        if "delta: +0.000000s" not in proc.stdout:
+            return fail("self-diff did not report a zero makespan delta:\n"
+                        f"{proc.stdout}")
 
     print(f"smoke_trace: OK ({summary['spans']} spans, "
           f"{summary['events']} events, {summary['metrics']} metrics, "
-          f"{summary['counters']} counters, {len(cycles)} cycle(s))")
+          f"{summary['nodes']} causal nodes, {summary['msgs']} msgs, "
+          f"{summary['counters']} counters, {len(cycles)} cycle(s); "
+          f"makespan identity on {nruns} vm run(s))")
     return 0
 
 

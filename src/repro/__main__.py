@@ -9,7 +9,16 @@ report [RESOLUTION | TRACE.jsonl]
     exported JSONL (``--format ascii|html|both``, ``--out PATH``).
 step [RESOLUTION]
     Run one load-balanced adapt/balance cycle on the rotor case and print
-    its phase anatomy from tracer spans (``--nproc`` selects P).
+    its phase anatomy from tracer spans (``--nproc`` selects P,
+    ``--reassigner`` the processor-reassignment algorithm).
+critical-path TRACE.jsonl
+    Reconstruct the happens-before DAG from an exported trace and print
+    the virtual-time critical path: makespan attribution by
+    (phase, kind), the top path segments, and per-cycle stragglers.
+diff A.jsonl B.jsonl
+    Compare two traces' critical-path compositions — e.g. a greedy run
+    against an MWBG run — and report which phase segments account for
+    the makespan delta.
 case [RESOLUTION]
     Print the synthetic rotor case's mesh sizes and growth factors.
 version
@@ -18,10 +27,12 @@ version
 Tracing
 -------
 ``report`` and ``step`` accept ``--trace-out PATH`` to export the run's
-phase spans, events, metrics, and counters as JSONL (schema
-``repro.obs/v2``) and ``--chrome-out PATH`` to additionally write a
-Chrome-trace JSON that ``chrome://tracing`` or https://ui.perfetto.dev
-can open.  Feed the JSONL back to ``report`` for the dashboard.
+phase spans, events, metrics, counters, and causal message DAG as JSONL
+(schema ``repro.obs/v3``) and ``--chrome-out PATH`` to additionally
+write a Chrome-trace JSON that ``chrome://tracing`` or
+https://ui.perfetto.dev can open (message sends render as flow arrows).
+Feed the JSONL back to ``report`` for the dashboard, or to
+``critical-path`` / ``diff`` for makespan attribution.
 """
 
 from __future__ import annotations
@@ -76,7 +87,33 @@ def _build_parser() -> argparse.ArgumentParser:
     p_step.add_argument("--nproc", type=int, default=8)
     p_step.add_argument("--strategy", default="Real_2",
                         choices=("Real_1", "Real_2", "Real_3"))
+    p_step.add_argument(
+        "--reassigner", default="heuristic_mwbg",
+        choices=("heuristic_mwbg", "optimal_mwbg", "optimal_bmcm", "combined"),
+        help="processor-reassignment algorithm for the balance phase",
+    )
     add_tracing(p_step)
+
+    p_cp = sub.add_parser(
+        "critical-path",
+        help="critical-path / straggler breakdown of an exported trace",
+    )
+    p_cp.add_argument("trace", help="trace .jsonl path (repro.obs/v3)")
+    p_cp.add_argument(
+        "--top", type=int, default=10,
+        help="number of critical-path segments to list",
+    )
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="compare two traces' critical-path compositions",
+    )
+    p_diff.add_argument("trace_a", help="baseline trace .jsonl path")
+    p_diff.add_argument("trace_b", help="candidate trace .jsonl path")
+    p_diff.add_argument(
+        "--top", type=int, default=15,
+        help="number of (phase, kind) rows to list",
+    )
 
     p_case = sub.add_parser("case", help="print case sizes and growth factors")
     p_case.add_argument("resolution", nargs="?", type=int, default=8)
@@ -150,12 +187,13 @@ def _cmd_step(args) -> int:
         machine=SP2_1997,
         cost_model=CostModel(machine=SP2_1997),
         imbalance_threshold=1.0,
+        reassigner=args.reassigner,
         tracer=tracer,
     )
     report = solver.adapt_step(edge_mask=case.marking_mask(args.strategy))
 
     print(f"one {args.strategy} step at resolution {args.resolution} "
-          f"on P={args.nproc} (times are virtual seconds):")
+          f"on P={args.nproc} ({args.reassigner}; times are virtual seconds):")
     for name, seconds in report.phase_times().items():
         print(f"  {name:14s} {seconds:10.6f}")
     print(f"  {'total':14s} {report.total_time:10.6f}")
@@ -164,6 +202,49 @@ def _cmd_step(args) -> int:
     print()
     print(format_counters(tracer))
     _export(tracer, args.trace_out, args.chrome_out)
+    return 0
+
+
+def _read_trace(path: str):
+    import os
+
+    from repro.obs import read_jsonl
+
+    if not os.path.exists(path):
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return None
+    return read_jsonl(path)
+
+
+def _cmd_critical_path(args) -> int:
+    from repro.obs import analyze, format_critical_path
+
+    tracer = _read_trace(args.trace)
+    if tracer is None:
+        return 2
+    analysis = analyze(tracer)
+    if not analysis.runs and not analysis.supersteps:
+        print(f"note: {args.trace} carries no causal records "
+              "(re-export with schema repro.obs/v3)", file=sys.stderr)
+    print(format_critical_path(analysis, top=args.top))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    import os
+
+    from repro.obs import analyze, diff, format_diff
+
+    tracer_a = _read_trace(args.trace_a)
+    tracer_b = _read_trace(args.trace_b)
+    if tracer_a is None or tracer_b is None:
+        return 2
+    d = diff(analyze(tracer_a), analyze(tracer_b))
+    label_a = os.path.basename(args.trace_a)
+    label_b = os.path.basename(args.trace_b)
+    if label_a == label_b:
+        label_a, label_b = args.trace_a, args.trace_b
+    print(format_diff(d, label_a=label_a, label_b=label_b, top=args.top))
     return 0
 
 
@@ -196,6 +277,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "step":
         return _cmd_step(args)
+    if args.command == "critical-path":
+        return _cmd_critical_path(args)
+    if args.command == "diff":
+        return _cmd_diff(args)
     if args.command == "case":
         return _cmd_case(args)
     parser.error(f"unknown command {args.command!r}")

@@ -69,12 +69,20 @@ def _check_bench(rec, path: str) -> None:
         _check_scalar_map(
             metrics, f"{path}.metrics", lambda v, p: _check_number(v, p)
         )
+    critical_path = rec.get("critical_path")
+    if critical_path is not None:
+        _check_scalar_map(
+            critical_path,
+            f"{path}.critical_path",
+            lambda v, p: (_check_number(v, p), _require(v >= 0, p, "expected >= 0")),
+        )
     unknown = set(rec) - {
         "wall_seconds",
         "virtual_phase_seconds",
         "counters",
         "extra",
         "metrics",
+        "critical_path",
         "reference_wall_seconds",
         "speedup_vs_reference",
     }

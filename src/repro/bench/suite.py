@@ -71,6 +71,9 @@ def run_bench(name: str, resolution: int, repeats: int = 1) -> dict:
     metrics = _metric_summary(tracer)
     if metrics:
         rec["metrics"] = metrics
+    cp = _critical_path_summary(tracer)
+    if cp:
+        rec["critical_path"] = cp
     return rec
 
 
@@ -92,6 +95,24 @@ def _metric_summary(tracer: Tracer) -> dict:
         else None,
     }
     return {k: v for k, v in summary.items() if v is not None}
+
+
+def _critical_path_summary(tracer: Tracer) -> dict:
+    """Makespan attribution by ``phase/kind`` from the causal record.
+
+    Deterministic (virtual seconds only), so it rides along in the results
+    record as context without participating in the wall-time gate; absent
+    when the bench recorded no VM runs or ledger supersteps.
+    """
+    from repro.obs import analyze
+
+    analysis = analyze(tracer)
+    if not analysis.runs and not analysis.supersteps:
+        return {}
+    summary = {"makespan": analysis.makespan}
+    for (phase, kind), sec in sorted(analysis.by_phase_kind.items()):
+        summary[f"{phase}/{kind}"] = sec
+    return summary
 
 
 def run_suite(

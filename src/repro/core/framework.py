@@ -248,6 +248,7 @@ class LoadBalancedAdaptiveSolver:
                     part=owner,
                     ledger=ledger,
                 )
+                ledger.close()
                 tracer.advance(ledger.elapsed)
                 edges_marked = int(np.count_nonzero(marking.edge_marked))
                 sp.attrs.update(
@@ -313,6 +314,7 @@ class LoadBalancedAdaptiveSolver:
             result = self.adaptive.refine(
                 marking, part=self.elem_owner(), ledger=ledger
             )
+            ledger.close()
             tracer.advance(ledger.elapsed)
             sp.attrs["growth_factor"] = result.growth_factor
             tracer.metric("repro.adapt.elements_after", self.adaptive.mesh.ne)
@@ -375,6 +377,7 @@ class LoadBalancedAdaptiveSolver:
                 # checkable)
                 gs_ledger = CostLedger(self.nproc, self.machine, tracer=tracer)
                 charge_gather_scatter(gs_ledger, npart)
+                gs_ledger.close()
                 report.gather_scatter_time = gs_ledger.elapsed
                 tracer.advance(report.gather_scatter_time)
                 sp.attrs["entries"] = int(np.count_nonzero(S))

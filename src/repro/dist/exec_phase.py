@@ -51,14 +51,20 @@ def parallel_mark(
     locals_: list[LocalMesh],
     initial_marks: np.ndarray,
     machine: MachineModel = SP2_1997,
+    tracer=None,
 ) -> ParallelMarkResult:
     """Run the marking-propagation loop as SPMD programs over local meshes.
 
     ``initial_marks`` is a boolean mask over the *global* mesh's edges
     (the error-indicator targeting, which is symmetric across shared edges
     "because shared edges have the same flow and geometry information
-    regardless of their processor number").
+    regardless of their processor number").  ``tracer`` (or the ambient
+    one) records the loop's events and causal message DAG.
     """
+    if tracer is None:
+        from repro.obs import current_tracer
+
+        tracer = current_tracer()
     initial_marks = np.asarray(initial_marks, dtype=bool)
     if initial_marks.shape != (global_mesh.nedges,):
         raise ValueError(
@@ -119,7 +125,7 @@ def parallel_mark(
                 break
         return marked, rounds
 
-    vm = VirtualMachine(nproc, machine)
+    vm = VirtualMachine(nproc, machine, tracer=tracer)
     res = vm.run(
         program,
         per_rank(locals_),

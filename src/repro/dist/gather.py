@@ -42,6 +42,7 @@ def finalize(
     locals_: list[LocalMesh],
     machine: MachineModel = SP2_1997,
     host: int = 0,
+    tracer=None,
 ) -> FinalizeResult:
     """Assemble the per-rank subgrids into one global mesh.
 
@@ -112,7 +113,13 @@ def finalize(
             yield from comm.send(None, dest=host, tag=9, nwords=words)
         yield from comm.barrier()
 
-    res = VirtualMachine(nproc, machine).run(program, per_rank(payload_words))
+    if tracer is None:
+        from repro.obs import current_tracer
+
+        tracer = current_tracer()
+    res = VirtualMachine(nproc, machine, tracer=tracer).run(
+        program, per_rank(payload_words)
+    )
 
     return FinalizeResult(
         mesh=mesh,

@@ -43,13 +43,20 @@ def migrate(
     storage_words_per_elem: int = 24,
     rebuild_work_per_elem: float = 6.0,
     machine: MachineModel = SP2_1997,
+    tracer=None,
 ) -> MigrateResult:
     """Move elements so rank ``r`` ends up owning ``new_part == r``.
 
     ``new_part`` indexes *global* elements.  Transfer sizes follow the
     per-element storage model; each rank pays rebuild work proportional to
     its new local size (compaction + shared-data reconstruction).
+    ``tracer`` (or the ambient one) records the migration's events and
+    causal message DAG.
     """
+    if tracer is None:
+        from repro.obs import current_tracer
+
+        tracer = current_tracer()
     nproc = len(locals_)
     new_part = np.asarray(new_part, dtype=np.int64)
     if new_part.shape != (global_mesh.ne,):
@@ -85,7 +92,7 @@ def migrate(
         yield from comm.compute(rebuild_work_per_elem * new_size)
         yield from comm.barrier()
 
-    res = VirtualMachine(nproc, machine).run(
+    res = VirtualMachine(nproc, machine, tracer=tracer).run(
         program,
         per_rank(send_plans),
         per_rank(recv_counts),

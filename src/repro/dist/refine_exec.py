@@ -64,8 +64,17 @@ def parallel_refine(
     locals_: list[LocalMesh],
     marking: MarkingResult,
     machine: MachineModel = SP2_1997,
+    tracer=None,
 ) -> ParallelRefineResult:
-    """Subdivide every local mesh under a globally-consistent marking."""
+    """Subdivide every local mesh under a globally-consistent marking.
+
+    ``tracer`` (or the ambient one) records the virtual machine's events
+    and causal message DAG.
+    """
+    if tracer is None:
+        from repro.obs import current_tracer
+
+        tracer = current_tracer()
     edge_marked = np.asarray(marking.edge_marked, dtype=bool)
     if edge_marked.shape != (global_mesh.nedges,):
         raise ValueError(
@@ -111,7 +120,7 @@ def parallel_refine(
         yield from comm.barrier()
         return result.mesh, result.mesh.ne
 
-    vm = VirtualMachine(nproc, machine)
+    vm = VirtualMachine(nproc, machine, tracer=tracer)
     res = vm.run(
         program,
         per_rank([x[0] for x in local_inputs]),

@@ -14,10 +14,16 @@ A :class:`Tracer` records nestable :class:`Span` phases carrying both
 clocks, point :class:`PointEvent` records (e.g. every virtual-machine
 send/recv/probe during a remap), a legacy flat counter/gauge registry,
 and a labelled :class:`MetricsRegistry` of time-series samples keyed by
-``(name, labels, cycle, rank)``.  :mod:`repro.obs.export` serialises a
-tracer to JSONL (one record per line, schema ``repro.obs/v2``; v1 files
-remain readable) and to the Chrome trace-event format that
-``chrome://tracing`` / Perfetto can open directly.
+``(name, labels, cycle, rank)``.  Traced virtual-machine runs additionally
+record their happens-before DAG (:mod:`repro.obs.causal`): every operation
+becomes a :class:`~repro.obs.causal.CausalNode` and every message a
+:class:`~repro.obs.causal.CausalMsg`, from which :func:`analyze`
+reconstructs the virtual-time critical path, per-rank slack, and
+straggler rankings (``repro critical-path`` / ``repro diff``).
+:mod:`repro.obs.export` serialises a tracer to JSONL (one record per
+line, schema ``repro.obs/v3``; v1/v2 files remain readable) and to the
+Chrome trace-event format that ``chrome://tracing`` / Perfetto can open
+directly — including flow-event arrows for every delivered message.
 :mod:`repro.obs.report` turns a trace file into an ASCII dashboard or a
 self-contained HTML run report (``repro report <trace.jsonl>``).
 
@@ -26,6 +32,23 @@ the ambient tracer installed with :func:`use_tracer`, so experiment
 drivers opt in with one ``with`` block and zero plumbing.
 """
 
+from .causal import (
+    CausalMsg,
+    CausalNode,
+    CausalRun,
+    CriticalPath,
+    TraceAnalysis,
+    TraceDiff,
+    analyze,
+    critical_path,
+    diff,
+    format_critical_path,
+    format_diff,
+    rank_stats,
+    run_from_result,
+    runs_from_tracer,
+    verify_makespans,
+)
 from .metrics import KINDS, MetricSample, MetricsRegistry
 from .tracer import (
     PointEvent,
@@ -48,6 +71,10 @@ from .export import (
 from .report import render_ascii, render_html
 
 __all__ = [
+    "CausalMsg",
+    "CausalNode",
+    "CausalRun",
+    "CriticalPath",
     "KINDS",
     "MetricSample",
     "MetricsRegistry",
@@ -56,15 +83,26 @@ __all__ = [
     "SUPPORTED_SCHEMAS",
     "SchemaError",
     "Span",
+    "TraceAnalysis",
+    "TraceDiff",
     "Tracer",
+    "analyze",
+    "critical_path",
     "current_tracer",
+    "diff",
     "export_chrome_trace",
     "export_jsonl",
+    "format_critical_path",
+    "format_diff",
     "maybe_phase",
     "phase_virtual_times",
+    "rank_stats",
     "read_jsonl",
     "render_ascii",
     "render_html",
+    "run_from_result",
+    "runs_from_tracer",
     "use_tracer",
     "validate_jsonl",
+    "verify_makespans",
 ]

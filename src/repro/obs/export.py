@@ -1,15 +1,17 @@
 """Serialise a :class:`~repro.obs.tracer.Tracer` to JSONL and Chrome trace.
 
-JSONL schema (``repro.obs/v2``)
+JSONL schema (``repro.obs/v3``)
 -------------------------------
 One JSON object per line.  The first line is the meta record; every other
-line is a span, event, metric, counter, or gauge record:
+line is a span, event, metric, node, msg, counter, or gauge record:
 
-``{"type": "meta", "schema": "repro.obs/v2", "spans": N, "events": M,
-"counters": C, "gauges": G, "metrics": K}``
+``{"type": "meta", "schema": "repro.obs/v3", "spans": N, "events": M,
+"counters": C, "gauges": G, "metrics": K, "nodes": D, "msgs": S}``
     Header; the counts must match the number of records that follow.
     v1 files (schema ``repro.obs/v1``, no ``metrics`` count, no ``metric``
-    records) are still accepted by :func:`read_jsonl`/:func:`validate_jsonl`.
+    records) and v2 files (schema ``repro.obs/v2``, no ``nodes``/``msgs``
+    counts, no causal records) are still accepted by
+    :func:`read_jsonl`/:func:`validate_jsonl`.
 
 ``{"type": "span", "index": int, "parent": int|null, "depth": int >= 0,
 "name": str, "rank": int|null, "v_start": float, "v_end": float,
@@ -27,6 +29,19 @@ line is a span, event, metric, counter, or gauge record:
     One labelled time-series sample keyed by ``(name, labels, cycle,
     rank)`` (see :mod:`repro.obs.metrics`); histogram values are lists.
 
+``{"type": "node", "run": int, "id": int, "rank": int, "kind":
+"work"|"elapse"|"send"|"recv"|"probe", "t_start": float, "t_end": float,
+"wait": float >= 0, "msg": int|null}``
+    One happens-before DAG node: an operation one rank executed during
+    virtual-machine run ``run``, on that run's local virtual clock (the
+    matching ``vm.run`` event carries the run's ``base`` offset into the
+    trace timeline).  See :mod:`repro.obs.causal`.
+
+``{"type": "msg", "run": int, "id": int, "src": int, "dst": int,
+"tag": int, "nwords": int >= 0, "send_node": int, "recv_node": int|null}``
+    One virtual-machine message, linking its send node to the recv/probe
+    node that consumed it (``recv_node`` is null if never consumed).
+
 ``{"type": "counter"|"gauge", "name": str, "value": number}``
     Legacy flat counters/gauges (no labels, cycle, or rank).
 
@@ -35,12 +50,17 @@ format: spans become complete ``"X"`` slices on the *virtual* timeline
 (microsecond ``ts``/``dur``), point events become thread-scoped instants,
 and counters become one final ``"C"`` sample.  Ranked records render on a
 per-rank virtual thread; un-ranked spans render on tid 0 ("framework").
+Causal nodes render as ``cat: "vm"`` slices on their rank's thread, and
+every delivered message emits a flow-event pair (``ph: "s"`` at the send,
+``ph: "f"`` at the consuming recv/probe, matching ``id``) so message
+arrows draw between the two threads in chrome://tracing / Perfetto.
 """
 
 from __future__ import annotations
 
 import json
 
+from .causal import NODE_KINDS, CausalMsg, CausalNode
 from .metrics import KINDS
 from .tracer import PointEvent, Span, Tracer
 
@@ -54,11 +74,12 @@ __all__ = [
     "validate_jsonl",
 ]
 
-SCHEMA_VERSION = "repro.obs/v2"
+SCHEMA_VERSION = "repro.obs/v3"
 
-#: Schemas :func:`read_jsonl`/:func:`validate_jsonl` accept (v1 traces
-#: predate labelled metric records but remain readable).
-SUPPORTED_SCHEMAS = ("repro.obs/v1", SCHEMA_VERSION)
+#: Schemas :func:`read_jsonl`/:func:`validate_jsonl` accept, oldest first
+#: (v1 predates labelled metric records, v2 predates causal node/msg
+#: records; both remain readable).
+SUPPORTED_SCHEMAS = ("repro.obs/v1", "repro.obs/v2", SCHEMA_VERSION)
 
 
 class SchemaError(ValueError):
@@ -69,7 +90,7 @@ class SchemaError(ValueError):
 
 
 def export_jsonl(tracer: Tracer, path) -> int:
-    """Write the tracer to ``path`` in the v2 JSONL schema.
+    """Write the tracer to ``path`` in the v3 JSONL schema.
 
     Open spans are skipped (a trace is exported after the run).  Returns
     the number of records written, including the meta line.
@@ -84,6 +105,8 @@ def export_jsonl(tracer: Tracer, path) -> int:
             "counters": len(tracer.counters),
             "gauges": len(tracer.gauges),
             "metrics": len(tracer.metrics),
+            "nodes": len(tracer.causal_nodes),
+            "msgs": len(tracer.causal_msgs),
         }
     ]
     for s in spans:
@@ -126,6 +149,34 @@ def export_jsonl(tracer: Tracer, path) -> int:
                 "v_time": s.v_time,
             }
         )
+    for n in tracer.causal_nodes:
+        records.append(
+            {
+                "type": "node",
+                "run": n.run,
+                "id": n.id,
+                "rank": n.rank,
+                "kind": n.kind,
+                "t_start": n.t_start,
+                "t_end": n.t_end,
+                "wait": n.wait,
+                "msg": n.msg,
+            }
+        )
+    for m in tracer.causal_msgs:
+        records.append(
+            {
+                "type": "msg",
+                "run": m.run,
+                "id": m.id,
+                "src": m.src,
+                "dst": m.dst,
+                "tag": m.tag,
+                "nwords": m.nwords,
+                "send_node": m.send_node,
+                "recv_node": m.recv_node,
+            }
+        )
     for name, value in tracer.counters.items():
         records.append({"type": "counter", "name": name, "value": value})
     for name, value in tracer.gauges.items():
@@ -138,7 +189,7 @@ def export_jsonl(tracer: Tracer, path) -> int:
 
 
 def read_jsonl(path) -> Tracer:
-    """Reconstruct a tracer from a v1 or v2 JSONL file (validates on the way)."""
+    """Reconstruct a tracer from a v1/v2/v3 JSONL file (validates on the way)."""
     validate_jsonl(path)
     tracer = Tracer()
     with open(path) as fh:
@@ -179,6 +230,32 @@ def read_jsonl(path) -> Tracer:
                     rank=rec["rank"],
                     v_time=rec["v_time"],
                 )
+            elif rec["type"] == "node":
+                tracer.causal_nodes.append(
+                    CausalNode(
+                        run=rec["run"],
+                        id=rec["id"],
+                        rank=rec["rank"],
+                        kind=rec["kind"],
+                        t_start=rec["t_start"],
+                        t_end=rec["t_end"],
+                        wait=rec["wait"],
+                        msg=rec["msg"],
+                    )
+                )
+            elif rec["type"] == "msg":
+                tracer.causal_msgs.append(
+                    CausalMsg(
+                        run=rec["run"],
+                        id=rec["id"],
+                        src=rec["src"],
+                        dst=rec["dst"],
+                        tag=rec["tag"],
+                        nwords=rec["nwords"],
+                        send_node=rec["send_node"],
+                        recv_node=rec["recv_node"],
+                    )
+                )
             elif rec["type"] == "counter":
                 tracer.counters[rec["name"]] = rec["value"]
             elif rec["type"] == "gauge":
@@ -186,6 +263,8 @@ def read_jsonl(path) -> Tracer:
     cycles = tracer.metrics.cycles()
     if cycles:
         tracer._next_cycle = max(cycles) + 1
+    if tracer.causal_nodes:
+        tracer._next_run = max(n.run for n in tracer.causal_nodes) + 1
     if tracer.spans:
         tracer._vclock = max(s.v_end for s in tracer.spans)
     return tracer
@@ -200,11 +279,17 @@ _REQUIRED = {
     "event": {"name": str, "v_time": (int, float), "attrs": dict},
     "metric": {"name": str, "kind": str, "labels": dict,
                "v_time": (int, float)},
+    "node": {"run": int, "id": int, "rank": int, "kind": str,
+             "t_start": (int, float), "t_end": (int, float),
+             "wait": (int, float)},
+    "msg": {"run": int, "id": int, "src": int, "dst": int, "tag": int,
+            "nwords": int, "send_node": int},
     "counter": {"name": str, "value": (int, float)},
     "gauge": {"name": str, "value": (int, float)},
 }
 _NULLABLE_INT = {"span": ("parent", "rank"), "event": ("rank", "span"),
-                 "metric": ("cycle", "rank")}
+                 "metric": ("cycle", "rank"), "node": ("msg",),
+                 "msg": ("recv_node",)}
 
 
 def _is_number(v) -> bool:
@@ -235,16 +320,19 @@ def _check_metric(rec, lineno: int) -> None:
 
 
 def validate_jsonl(path) -> dict:
-    """Validate a JSONL trace against the v2 (or legacy v1) schema.
+    """Validate a JSONL trace against the v3 (or legacy v1/v2) schema.
 
     Raises :class:`SchemaError` on the first violation; returns a summary
-    ``{"spans": N, "events": M, "counters": C, "gauges": G, "metrics": K}``
-    on success (``metrics`` is 0 for v1 files, which may not contain
-    ``metric`` records).
+    ``{"spans": N, "events": M, "counters": C, "gauges": G, "metrics": K,
+    "nodes": D, "msgs": S}`` on success (``metrics`` is 0 for v1 files and
+    ``nodes``/``msgs`` are 0 for v1/v2 files, which may not contain the
+    corresponding records).
     """
-    counts = {"span": 0, "event": 0, "metric": 0, "counter": 0, "gauge": 0}
+    counts = {"span": 0, "event": 0, "metric": 0, "node": 0, "msg": 0,
+              "counter": 0, "gauge": 0}
     meta = None
     schema = None
+    version = 0
     span_indices: set[int] = set()
     with open(path) as fh:
         for lineno, line in enumerate(fh, start=1):
@@ -286,16 +374,21 @@ def validate_jsonl(path) -> dict:
                         f"unsupported schema {schema!r} "
                         f"(expected one of {SUPPORTED_SCHEMAS})"
                     )
-                if schema == SCHEMA_VERSION and not isinstance(
-                    rec.get("metrics"), int
-                ):
+                version = SUPPORTED_SCHEMAS.index(schema) + 1
+                if version >= 2 and not isinstance(rec.get("metrics"), int):
                     raise SchemaError("meta missing integer 'metrics' count")
+                if version >= 3:
+                    for key in ("nodes", "msgs"):
+                        if not isinstance(rec.get(key), int):
+                            raise SchemaError(
+                                f"meta missing integer {key!r} count"
+                            )
                 continue
             if kind == "metric":
-                if schema != SCHEMA_VERSION:
+                if version < 2:
                     raise SchemaError(
                         f"line {lineno}: metric records require schema "
-                        f"{SCHEMA_VERSION!r}, file declares {schema!r}"
+                        f"repro.obs/v2 or later, file declares {schema!r}"
                     )
                 if "value" not in rec:
                     raise SchemaError(f"line {lineno}: metric missing 'value'")
@@ -304,6 +397,33 @@ def validate_jsonl(path) -> dict:
                         f"line {lineno}: metric missing 'cycle' or 'rank'"
                     )
                 _check_metric(rec, lineno)
+            if kind in ("node", "msg"):
+                if version < 3:
+                    raise SchemaError(
+                        f"line {lineno}: {kind} records require schema "
+                        f"{SCHEMA_VERSION!r}, file declares {schema!r}"
+                    )
+                if kind == "node":
+                    if rec["kind"] not in NODE_KINDS:
+                        raise SchemaError(
+                            f"line {lineno}: node.kind {rec['kind']!r} not in "
+                            f"{NODE_KINDS}"
+                        )
+                    if "msg" not in rec:
+                        raise SchemaError(f"line {lineno}: node missing 'msg'")
+                    if rec["t_end"] < rec["t_start"]:
+                        raise SchemaError(
+                            f"line {lineno}: node ends before it starts"
+                        )
+                    if rec["wait"] < 0:
+                        raise SchemaError(f"line {lineno}: negative node wait")
+                else:
+                    if "recv_node" not in rec:
+                        raise SchemaError(
+                            f"line {lineno}: msg missing 'recv_node'"
+                        )
+                    if rec["nwords"] < 0:
+                        raise SchemaError(f"line {lineno}: negative msg nwords")
             counts[kind] += 1
             if kind == "span":
                 if rec["v_end"] < rec["v_start"]:
@@ -325,8 +445,10 @@ def validate_jsonl(path) -> dict:
         raise SchemaError("empty trace file (no meta record)")
     expected = [("span", "spans"), ("event", "events"),
                 ("counter", "counters"), ("gauge", "gauges")]
-    if schema == SCHEMA_VERSION:
+    if version >= 2:
         expected.append(("metric", "metrics"))
+    if version >= 3:
+        expected.extend([("node", "nodes"), ("msg", "msgs")])
     for kind, key in expected:
         if counts[kind] != meta[key]:
             raise SchemaError(
@@ -334,7 +456,8 @@ def validate_jsonl(path) -> dict:
             )
     return {"spans": counts["span"], "events": counts["event"],
             "counters": counts["counter"], "gauges": counts["gauge"],
-            "metrics": counts["metric"]}
+            "metrics": counts["metric"], "nodes": counts["node"],
+            "msgs": counts["msg"]}
 
 
 # --- Chrome trace ------------------------------------------------------------
@@ -360,6 +483,7 @@ def export_chrome_trace(tracer: Tracer, path) -> int:
     ranks = sorted(
         {s.rank for s in tracer.spans if s.rank is not None}
         | {e.rank for e in tracer.events if e.rank is not None}
+        | {n.rank for n in tracer.causal_nodes}
     )
     for r in ranks:
         events.append(
@@ -397,6 +521,52 @@ def export_chrome_trace(tracer: Tracer, path) -> int:
             }
         )
         n += 1
+    # causal record: per-op slices on each rank's thread, plus a flow-event
+    # pair per delivered message so the send->recv arrow renders
+    base_of = {
+        e.attrs["run"]: e.attrs.get("base", e.v_time)
+        for e in tracer.events
+        if e.name == "vm.run"
+    }
+    nodes_by_run: dict[tuple[int, int], object] = {}
+    for nd in tracer.causal_nodes:
+        nodes_by_run[(nd.run, nd.id)] = nd
+        base = base_of.get(nd.run, 0.0)
+        events.append(
+            {
+                "ph": "X",
+                "pid": 0,
+                "tid": _tid(nd.rank),
+                "name": f"vm.{nd.kind}",
+                "cat": "vm",
+                "ts": (base + nd.t_start) * _US,
+                "dur": (nd.t_end - nd.t_start) * _US,
+                "args": {"run": nd.run, "node": nd.id, "wait": nd.wait},
+            }
+        )
+        n += 1
+    flow = 0
+    for m in tracer.causal_msgs:
+        if m.recv_node is None:
+            continue
+        send = nodes_by_run.get((m.run, m.send_node))
+        recv = nodes_by_run.get((m.run, m.recv_node))
+        if send is None or recv is None:
+            continue
+        base = base_of.get(m.run, 0.0)
+        common = {"pid": 0, "cat": "vm.msg", "name": "msg", "id": flow}
+        events.append(
+            {**common, "ph": "s", "tid": _tid(send.rank),
+             "ts": (base + send.t_end) * _US,
+             "args": {"tag": m.tag, "nwords": m.nwords}}
+        )
+        events.append(
+            {**common, "ph": "f", "bp": "e", "tid": _tid(recv.rank),
+             "ts": (base + recv.t_end) * _US,
+             "args": {"tag": m.tag, "nwords": m.nwords}}
+        )
+        flow += 1
+        n += 2
     t_end = max([s.v_end for s in tracer.spans if not s.open] or [0.0])
     for name, value in sorted(tracer.counters.items()):
         events.append(

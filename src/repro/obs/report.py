@@ -7,8 +7,10 @@ reassignment cost, remap traffic, and per-rank virtual-machine traffic.
 aligned tables plus cycle-over-cycle charts
 (:func:`repro.experiments.ascii_plot.ascii_chart`); :func:`render_html`
 emits a single self-contained HTML file with stat tiles, SVG line charts,
-a per-rank timeline, and a top-span table.  Both read only the tracer —
-``repro report <trace.jsonl>`` needs no access to the original mesh.
+a per-rank timeline, a critical-path lane with per-rank slack bars
+(from the causal record, when the trace carries one), and a top-span
+table.  Both read only the tracer — ``repro report <trace.jsonl>``
+needs no access to the original mesh.
 """
 
 from __future__ import annotations
@@ -136,6 +138,31 @@ def _makespan(tracer: Tracer) -> float:
     return max([s.v_end for s in tracer.spans if not s.open] or [0.0])
 
 
+def _causal_analysis(tracer: Tracer):
+    """The trace's :class:`~repro.obs.causal.TraceAnalysis`, or ``None``
+    when the trace carries no causal record (e.g. a v1/v2 file)."""
+    has_steps = any(e.name == "ledger.superstep" for e in tracer.events)
+    if not getattr(tracer, "causal_nodes", None) and not has_steps:
+        return None
+    from .causal import analyze
+
+    analysis = analyze(tracer)
+    if not analysis.runs and not analysis.supersteps:
+        return None
+    return analysis
+
+
+def _rank_path_stats(analysis) -> tuple[dict[int, float], dict[int, float]]:
+    """Per-rank (on-path seconds, summed slack) across all VM runs."""
+    on_path: dict[int, float] = {}
+    slack: dict[int, float] = {}
+    for stats in analysis.stats.values():
+        for st in stats:
+            on_path[st.rank] = on_path.get(st.rank, 0.0) + st.on_path
+            slack[st.rank] = slack.get(st.rank, 0.0) + st.slack
+    return on_path, slack
+
+
 # --- ASCII dashboard ---------------------------------------------------------
 
 
@@ -246,6 +273,14 @@ def render_ascii(tracer: Tracer, source: str = "", top: int = 10) -> str:
             parts.append(_table(
                 headers, [[_fmt(c) for c in row] for row in rank_rows]
             ))
+
+    analysis = _causal_analysis(tracer)
+    if analysis is not None:
+        from .causal import format_critical_path
+
+        parts.append("")
+        parts.append("Critical path (from the causal record)")
+        parts.append(format_critical_path(analysis, top=top))
 
     spans = _top_spans(tracer, top)
     if spans:
@@ -430,6 +465,50 @@ def _svg_rank_bars(per_rank: dict[int, float], width: int = 560,
     return "".join(out)
 
 
+_KIND_COLORS = {
+    "work": "var(--series-1)",
+    "comm": "var(--series-2)",
+    "idle": "var(--series-3)",
+}
+
+
+def _svg_critical_lane(analysis, width: int = 940, height: int = 44) -> str:
+    """One horizontal lane tiling [0, makespan] with the path segments.
+
+    Each segment is coloured by its kind (work / comm / idle); the tooltip
+    carries the phase, the rank on the path, and the segment's seconds.
+    """
+    if analysis.makespan <= 0 or not analysis.segments:
+        return ""
+    pad_l, pad_r, pad_t = 72, 12, 4
+    pw = width - pad_l - pad_r
+
+    def px(t):
+        return pad_l + (t / analysis.makespan) * pw
+
+    out = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+           f'height="{height}" role="img">']
+    out.append(f'<text x="{pad_l - 6}" y="{pad_t + 14}" '
+               f'text-anchor="end">path</text>')
+    for seg in analysis.segments:
+        w = max(px(seg.t1) - px(seg.t0), 0.5)
+        who = "framework" if seg.rank is None else f"rank {seg.rank}"
+        color = _KIND_COLORS.get(seg.kind, "var(--baseline)")
+        out.append(
+            f'<rect x="{px(seg.t0):.1f}" y="{pad_t}" width="{w:.1f}" '
+            f'height="18" fill="{color}">'
+            f"<title>{_html.escape(seg.phase)} — {_html.escape(who)} "
+            f"{_html.escape(seg.kind)}: {_fmt(seg.seconds)} s "
+            f"({_fmt(seg.t0)} .. {_fmt(seg.t1)})</title></rect>"
+        )
+    out.append(f'<text x="{pad_l}" y="{height - 4}">0 s</text>')
+    out.append(f'<text x="{width - pad_r}" y="{height - 4}" '
+               f'text-anchor="end">{_fmt(analysis.makespan)} s (virtual)'
+               f"</text>")
+    out.append("</svg>")
+    return "".join(out)
+
+
 def _html_table(headers: list[str], rows: list[list[str]]) -> str:
     out = ["<table><thead><tr>"]
     out.extend(f"<th>{_html.escape(h)}</th>" for h in headers)
@@ -603,6 +682,37 @@ def render_html(tracer: Tracer, title: str = "repro run report",
         sections.append(
             "<section><h2>Per-rank timeline (virtual clock)</h2>"
             + timeline + caption + "</section>"
+        )
+
+    analysis = _causal_analysis(tracer)
+    if analysis is not None:
+        lane = _svg_critical_lane(analysis)
+        attribution = _html_table(
+            ["phase", "kind", "seconds", "share %"],
+            [[
+                phase, kind, _fmt(sec),
+                f"{100.0 * sec / (analysis.makespan or 1.0):.1f}",
+            ] for (phase, kind), sec in sorted(
+                analysis.by_phase_kind.items(), key=lambda kv: -kv[1]
+            )],
+        )
+        body = _legend(list(_KIND_COLORS)) + lane + attribution
+        on_path, slack = _rank_path_stats(analysis)
+        if on_path:
+            body += (
+                "<h2>Seconds on the critical path, per rank</h2>"
+                + _svg_rank_bars(on_path, unit=" s on path")
+            )
+        if slack and any(v > 0 for v in slack.values()):
+            body += (
+                "<h2>Slack per rank (summed over vm runs)</h2>"
+                + _svg_rank_bars(slack, unit=" s slack")
+                + '<div class="caption">a rank with zero slack is on the '
+                "critical path of every run it appears in</div>"
+            )
+        sections.append(
+            "<section><h2>Critical path (causal record)</h2>"
+            + body + "</section>"
         )
 
     for label, cols in (("virtual machine", _VM_COLS),

@@ -83,8 +83,14 @@ class Tracer:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.metrics = MetricsRegistry()
+        #: Causal record of every traced VM run (see :mod:`repro.obs.causal`):
+        #: happens-before DAG nodes and the messages linking them, grouped by
+        #: the run id carried in ``vm.run`` marker events.
+        self.causal_nodes: list = []
+        self.causal_msgs: list = []
         self.cycle: int | None = None  #: current adaptation cycle id
         self._next_cycle = 0
+        self._next_run = 0
         self._stack: list[Span] = []
         self._vclock = 0.0
         self._wall = wall_clock
@@ -165,6 +171,12 @@ class Tracer:
         self.gauges[name] = value
 
     # --- labelled metrics --------------------------------------------------
+
+    def next_causal_run(self) -> int:
+        """Allocate the id for the next traced virtual-machine run."""
+        run = self._next_run
+        self._next_run += 1
+        return run
 
     def begin_cycle(self) -> int:
         """Start the next adaptation cycle; labelled metrics recorded until

@@ -33,6 +33,14 @@ class CostLedger:
     labelled metrics (``repro.ledger.messages_sent`` / ``messages_recv``
     / ``words_sent`` / ``words_recv``), so traffic shows up in exported
     traces with the rank dimension intact.
+
+    A traced ledger additionally emits one ``ledger.superstep`` point
+    event per barrier-to-barrier superstep, carrying the per-rank
+    work/comm second decomposition (ledger-local ``start``/``duration``,
+    placed on the trace timeline by the event's ``v_time``) — the
+    bulk-synchronous half of the causal record consumed by
+    :mod:`repro.obs.causal`.  Call :meth:`close` after the last charge to
+    flush the trailing (barrier-less) superstep.
     """
 
     def __init__(self, nranks: int, machine: MachineModel = SP2_1997,
@@ -45,6 +53,11 @@ class CostLedger:
         self.clocks = np.zeros(nranks, dtype=np.float64)
         self.total_messages = 0
         self.total_words = 0
+        self._sstep = 0
+        self._step_t0 = 0.0
+        self._step_msgs = 0
+        self._work = np.zeros(nranks, dtype=np.float64)
+        self._comm = np.zeros(nranks, dtype=np.float64)
 
     def _count_traffic(self, messages: int, words: int) -> None:
         self.total_messages += messages
@@ -55,7 +68,9 @@ class CostLedger:
 
     def add_work(self, rank: int, units: float) -> None:
         """Charge ``units`` of computation to one rank."""
-        self.clocks[rank] += self.machine.work_time(units)
+        t = self.machine.work_time(units)
+        self.clocks[rank] += t
+        self._work[rank] += t
 
     def add_work_all(self, units) -> None:
         """Charge per-rank work from a scalar or length-``nranks`` array."""
@@ -68,7 +83,9 @@ class CostLedger:
             )
         if np.any(units < 0):
             raise ValueError("negative work units")
-        self.clocks += units * self.machine.t_work
+        dt = units * self.machine.t_work
+        self.clocks += dt
+        self._work += dt
 
     def add_message(self, src: int, dst: int, nwords: int) -> None:
         """Charge one message: full transfer at the sender, posting at the
@@ -78,6 +95,9 @@ class CostLedger:
         t = self.machine.msg_time(nwords)
         self.clocks[src] += t
         self.clocks[dst] += self.machine.t_setup
+        self._comm[src] += t
+        self._comm[dst] += self.machine.t_setup
+        self._step_msgs += 1
         self._count_traffic(1, nwords)
         if self.tracer is not None:
             m = self.tracer.metric
@@ -107,6 +127,8 @@ class CostLedger:
         send_t = nmsg_out * self.machine.t_setup + off.sum(axis=1) * self.machine.t_word
         recv_t = nmsg_in * self.machine.t_setup + off.sum(axis=0) * self.machine.t_word
         self.clocks += np.maximum(send_t, recv_t)
+        self._comm += np.maximum(send_t, recv_t)
+        self._step_msgs += int((off > 0).sum())
         self._count_traffic(int((off > 0).sum()), int(off.sum()))
         if self.tracer is not None:
             m = self.tracer.metric
@@ -127,7 +149,37 @@ class CostLedger:
     def barrier(self) -> None:
         """Synchronise all ranks: max clock plus log2(P) startup rounds."""
         rounds = math.ceil(math.log2(self.nranks)) if self.nranks > 1 else 0
-        self.clocks[:] = self.clocks.max() + rounds * self.machine.t_setup
+        sync = rounds * self.machine.t_setup
+        self._emit_superstep(sync)
+        self.clocks[:] = self.clocks.max() + sync
+
+    def close(self) -> None:
+        """Flush the trailing (barrier-less) superstep to the tracer.
+
+        Call once after the last charge; further charges open a new
+        superstep.  A no-op for untraced or idle ledgers.
+        """
+        self._emit_superstep(0.0)
+
+    def _emit_superstep(self, sync: float) -> None:
+        busy = float(self.clocks.max()) - self._step_t0
+        if self.tracer is not None and (busy > 0.0 or self._step_msgs > 0):
+            self.tracer.event(
+                "ledger.superstep",
+                step=self._sstep,
+                start=self._step_t0,
+                duration=busy + sync,
+                work=[float(w) for w in self._work],
+                comm=[float(c) for c in self._comm],
+                sync=sync,
+                messages=self._step_msgs,
+                cycle=self.tracer.cycle,
+            )
+        self._sstep += 1
+        self._step_t0 = float(self.clocks.max()) + sync
+        self._step_msgs = 0
+        self._work[:] = 0.0
+        self._comm[:] = 0.0
 
     @property
     def elapsed(self) -> float:

@@ -38,11 +38,20 @@ class DeadlockError(RuntimeError):
     and a summary of the unmatched messages sitting in its mailbox; the
     same data is available programmatically as ``blocked`` —
     a list of ``(rank, (source, tag), [(source, tag, count), ...])``.
+
+    When the run was traced (``trace=True`` or a tracer), ``chains`` maps
+    each blocked rank to the longest completed causal chain ending at its
+    last completed operation (a list of
+    :class:`~repro.obs.causal.CausalNode`), and the message renders each
+    chain so the report shows what every rank was doing — and which
+    senders it depended on — when progress stopped.
     """
 
-    def __init__(self, message: str, blocked: list | None = None):
+    def __init__(self, message: str, blocked: list | None = None,
+                 chains: dict | None = None):
         super().__init__(message)
         self.blocked = blocked or []
+        self.chains = chains or {}
 
 
 # --- operation descriptors yielded by rank programs ------------------------
@@ -238,6 +247,10 @@ class RunResult:
     msgs_recv_per_rank: list[int] = field(default_factory=list)
     busy_per_rank: list[float] = field(default_factory=list)
     idle_per_rank: list[float] = field(default_factory=list)
+    #: Happens-before record (see :mod:`repro.obs.causal`); populated
+    #: whenever the run was traced, None otherwise.
+    nodes: list | None = None
+    msgs: list | None = None
 
     @property
     def makespan(self) -> float:
@@ -302,9 +315,14 @@ class VirtualMachine:
         ready: list[tuple[float, int]] = [(0.0, r) for r in range(self.nranks)]
         heapq.heapify(ready)
         seq = 0
-        events: list[TraceEvent] | None = (
-            [] if (self.trace or self.tracer is not None) else None
-        )
+        recording = self.trace or self.tracer is not None
+        events: list[TraceEvent] | None = [] if recording else None
+        nodes: list | None = None
+        msgs_rec: list | None = None
+        if recording:
+            from repro.obs.causal import CausalMsg, CausalNode
+
+            nodes, msgs_rec = [], []
 
         while ready:
             clock, r = heapq.heappop(ready)
@@ -321,18 +339,26 @@ class VirtualMachine:
             st.send_value = None
 
             if isinstance(op, WorkOp):
+                t0 = st.clock
                 st.clock += self.machine.work_time(op.units)
                 if events is not None:
                     events.append(TraceEvent(st.clock, r, "work", (op.units,)))
+                    nodes.append(CausalNode(-1, len(nodes), r, "work",
+                                            t0, st.clock))
                 heapq.heappush(ready, (st.clock, r))
             elif isinstance(op, ElapseOp):
                 if op.seconds < 0:
                     raise ValueError(f"negative elapse: {op.seconds}")
+                t0 = st.clock
                 st.clock += op.seconds
+                if nodes is not None:
+                    nodes.append(CausalNode(-1, len(nodes), r, "elapse",
+                                            t0, st.clock))
                 heapq.heappush(ready, (st.clock, r))
             elif isinstance(op, SendOp):
                 if not 0 <= op.dest < self.nranks:
                     raise ValueError(f"rank {r}: send to invalid rank {op.dest}")
+                t0 = st.clock
                 st.clock += self.machine.msg_time(op.nwords)
                 st.words_sent += op.nwords
                 st.msgs_sent += 1
@@ -343,13 +369,21 @@ class VirtualMachine:
                     events.append(
                         TraceEvent(st.clock, r, "send", (op.dest, op.tag, op.nwords))
                     )
+                    # msg id == seq - 1: both advance once per send
+                    nodes.append(CausalNode(-1, len(nodes), r, "send",
+                                            t0, st.clock, msg=len(msgs_rec)))
+                    msgs_rec.append(
+                        CausalMsg(-1, len(msgs_rec), r, op.dest, op.tag,
+                                  op.nwords, send_node=len(nodes) - 1)
+                    )
                 msg = _Message(r, op.tag, op.payload, op.nwords, st.clock, seq)
                 dst = ranks[op.dest]
                 dst.mailbox.add(msg)
                 if dst.blocked_on is not None and self._matches(dst.blocked_on, msg):
-                    self._deliver(dst, ready, events)
+                    self._deliver(dst, ready, events, nodes, msgs_rec)
                 heapq.heappush(ready, (st.clock, r))
             elif isinstance(op, ProbeOp):
+                t0 = st.clock
                 msg = st.mailbox.pop_match(
                     op.source, op.tag, max_arrival=st.clock
                 )
@@ -368,29 +402,65 @@ class VirtualMachine:
                         TraceEvent(st.clock, r, "probe",
                                    (op.source, op.tag, msg is not None))
                     )
+                    mid = None if msg is None else msg.seq - 1
+                    if mid is not None:
+                        msgs_rec[mid].recv_node = len(nodes)
+                    nodes.append(CausalNode(-1, len(nodes), r, "probe",
+                                            t0, st.clock, msg=mid))
                 heapq.heappush(ready, (st.clock, r))
             elif isinstance(op, RecvOp):
                 st.blocked_on = op
                 if st.mailbox.has_match(op.source, op.tag):
-                    self._deliver(st, ready, events)
+                    self._deliver(st, ready, events, nodes, msgs_rec)
                 # else: stays blocked until a matching send arrives
             else:
                 raise TypeError(f"rank {r} yielded unknown op {op!r}")
 
         stuck = [s for s in ranks if not s.done]
         if stuck:
-            raise DeadlockError(
+            message = (
                 f"ranks {[s.rank for s in stuck]} are blocked on receives "
-                "that never arrive:\n" + "\n".join(_blocked_line(s) for s in stuck),
+                "that never arrive:\n" + "\n".join(_blocked_line(s) for s in stuck)
+            )
+            chains = None
+            if nodes is not None:
+                chains = _deadlock_chains(stuck, nodes, msgs_rec)
+                if chains:
+                    message += "\nlast completed causal chain per blocked rank:"
+                    for rank in sorted(chains):
+                        message += f"\n  rank {rank}: {chains[rank][1]}"
+            else:
+                message += (
+                    "\n(run with trace=True or a tracer to see each rank's "
+                    "last completed causal chain)"
+                )
+            raise DeadlockError(
+                message,
                 blocked=[_blocked_record(s) for s in stuck],
+                chains={r: c for r, (c, _) in (chains or {}).items()},
             )
 
         makespan = max((s.clock for s in ranks), default=0.0)
         busy = [s.clock - s.waited for s in ranks]
         idle = [makespan - b for b in busy]
 
+        if nodes is not None:
+            run_id = (
+                self.tracer.next_causal_run() if self.tracer is not None else 0
+            )
+            for nd in nodes:
+                nd.run = run_id
+            for mg in msgs_rec:
+                mg.run = run_id
         if self.tracer is not None and events is not None:
             base = self.tracer.virtual_now
+            self.tracer.causal_nodes.extend(nodes)
+            self.tracer.causal_msgs.extend(msgs_rec)
+            self.tracer.event(
+                "vm.run", v_time=base, run=run_id, base=base,
+                makespan=makespan, nranks=self.nranks,
+                cycle=self.tracer.cycle, nodes=len(nodes), msgs=len(msgs_rec),
+            )
             for ev in events:
                 self.tracer.event(
                     f"vm.{ev.kind}", v_time=base + ev.time, rank=ev.rank,
@@ -427,21 +497,25 @@ class VirtualMachine:
             msgs_recv_per_rank=[s.msgs_recv for s in ranks],
             busy_per_rank=busy,
             idle_per_rank=idle,
+            nodes=nodes,
+            msgs=msgs_rec,
         )
 
     @staticmethod
     def _matches(op: RecvOp, msg: _Message) -> bool:
         return (op.source in (ANY, msg.source)) and (op.tag in (ANY, msg.tag))
 
-    def _deliver(self, st: _Rank, ready: list,
-                 events: list | None = None) -> None:
+    def _deliver(self, st: _Rank, ready: list, events: list | None = None,
+                 nodes: list | None = None, msgs_rec: list | None = None) -> None:
         """Hand the oldest matching message to a rank blocked on a recv."""
         op = st.blocked_on
         assert op is not None
         best = st.mailbox.pop_match(op.source, op.tag)
         assert best is not None, "deliver called without a matching message"
         st.blocked_on = None
-        st.waited += max(0.0, best.arrival - (st.clock + self.machine.t_setup))
+        t0 = st.clock
+        wait = max(0.0, best.arrival - (st.clock + self.machine.t_setup))
+        st.waited += wait
         st.clock = max(st.clock + self.machine.t_setup, best.arrival)
         st.words_recv += best.nwords
         st.msgs_recv += 1
@@ -452,8 +526,33 @@ class VirtualMachine:
                 TraceEvent(st.clock, st.rank, "recv",
                            (best.source, best.tag, best.nwords))
             )
+        if nodes is not None:
+            from repro.obs.causal import CausalNode
+
+            mid = best.seq - 1
+            msgs_rec[mid].recv_node = len(nodes)
+            nodes.append(CausalNode(-1, len(nodes), st.rank, "recv",
+                                    t0, st.clock, wait=wait, msg=mid))
         st.send_value = (best.payload, best.source, best.tag)
         heapq.heappush(ready, (st.clock, st.rank))
+
+
+def _deadlock_chains(stuck: list[_Rank], nodes: list, msgs_rec: list) -> dict:
+    """Per blocked rank: (causal chain to its last completed node, text)."""
+    from repro.obs.causal import chain_of, format_chain
+
+    last_by_rank: dict[int, Any] = {}
+    for n in nodes:
+        last_by_rank[n.rank] = n  # nodes are in creation order
+    chains = {}
+    for st in stuck:
+        start = last_by_rank.get(st.rank)
+        if start is None:
+            chains[st.rank] = ([], "(no completed operations)")
+            continue
+        chain = chain_of(nodes, msgs_rec, start)
+        chains[st.rank] = (chain, format_chain(chain, msgs_rec))
+    return chains
 
 
 def _fmt_match(value: int) -> str:

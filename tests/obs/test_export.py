@@ -69,7 +69,7 @@ def test_validate_accepts_fresh_export(tmp_path):
     export_jsonl(sample_tracer(), path)
     summary = validate_jsonl(path)
     assert summary == {"spans": 3, "events": 1, "counters": 1, "gauges": 1,
-                       "metrics": 0}
+                       "metrics": 0, "nodes": 0, "msgs": 0}
 
 
 def test_metric_roundtrip(tmp_path):
@@ -111,11 +111,17 @@ def test_metric_record_rejected_in_v1_file(tmp_path):
         validate_jsonl(path)
 
 
-def _v2_meta(**counts) -> dict:
-    base = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 0,
-            "events": 0, "counters": 0, "gauges": 0, "metrics": 0}
+def _meta(schema=SCHEMA_VERSION, **counts) -> dict:
+    base = {"type": "meta", "schema": schema, "spans": 0,
+            "events": 0, "counters": 0, "gauges": 0, "metrics": 0,
+            "nodes": 0, "msgs": 0}
+    if schema == "repro.obs/v2":
+        del base["nodes"], base["msgs"]
     base.update(counts)
     return base
+
+
+_v2_meta = _meta  # historical name used below
 
 
 @pytest.mark.parametrize("bad, match", [
@@ -186,45 +192,150 @@ def test_validate_rejects_wrong_schema_version(tmp_path):
 
 def test_validate_rejects_count_mismatch(tmp_path):
     path = tmp_path / "bad.jsonl"
-    meta = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 2,
-            "events": 0, "counters": 0, "gauges": 0, "metrics": 0}
-    path.write_text(json.dumps(meta) + "\n")
+    path.write_text(json.dumps(_meta(spans=2)) + "\n")
     with pytest.raises(SchemaError, match="declares 2 spans"):
         validate_jsonl(path)
 
 
 def test_validate_rejects_backwards_span(tmp_path):
     path = tmp_path / "bad.jsonl"
-    meta = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 1,
-            "events": 0, "counters": 0, "gauges": 0, "metrics": 0}
     span = {"type": "span", "index": 0, "parent": None, "depth": 0,
             "name": "x", "rank": None, "v_start": 5.0, "v_end": 1.0,
             "wall_start": 0.0, "wall_end": 1.0, "attrs": {}}
-    path.write_text(json.dumps(meta) + "\n" + json.dumps(span) + "\n")
+    path.write_text(json.dumps(_meta(spans=1)) + "\n" + json.dumps(span) + "\n")
     with pytest.raises(SchemaError, match="ends before it starts"):
         validate_jsonl(path)
 
 
 def test_validate_rejects_dangling_parent(tmp_path):
     path = tmp_path / "bad.jsonl"
-    meta = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 1,
-            "events": 0, "counters": 0, "gauges": 0, "metrics": 0}
     span = {"type": "span", "index": 3, "parent": 99, "depth": 1,
             "name": "x", "rank": None, "v_start": 0.0, "v_end": 1.0,
             "wall_start": 0.0, "wall_end": 1.0, "attrs": {}}
-    path.write_text(json.dumps(meta) + "\n" + json.dumps(span) + "\n")
+    path.write_text(json.dumps(_meta(spans=1)) + "\n" + json.dumps(span) + "\n")
     with pytest.raises(SchemaError, match="parent 99"):
         validate_jsonl(path)
 
 
 def test_validate_rejects_missing_field(tmp_path):
     path = tmp_path / "bad.jsonl"
-    meta = {"type": "meta", "schema": SCHEMA_VERSION, "spans": 0,
-            "events": 1, "counters": 0, "gauges": 0, "metrics": 0}
     event = {"type": "event", "v_time": 0.0, "attrs": {}}  # no name
-    path.write_text(json.dumps(meta) + "\n" + json.dumps(event) + "\n")
+    path.write_text(json.dumps(_meta(events=1)) + "\n"
+                    + json.dumps(event) + "\n")
     with pytest.raises(SchemaError, match="missing 'name'"):
         validate_jsonl(path)
+
+
+def causal_tracer() -> Tracer:
+    """Tracer holding one traced two-rank VM run (ping + reply)."""
+    from repro.parallel import VirtualMachine
+
+    def prog(comm):
+        if comm.rank == 0:
+            yield from comm.compute(100)
+            yield from comm.send("ping", dest=1, tag=1, nwords=8)
+            _ = yield from comm.recv(source=1, tag=2)
+        else:
+            _ = yield from comm.recv(source=0, tag=1)
+            yield from comm.send("pong", dest=0, tag=2, nwords=8)
+
+    tr = sample_tracer()
+    with tr.phase("remap"):
+        res = VirtualMachine(2, tracer=tr).run(prog)
+        tr.advance(res.makespan)
+    return tr
+
+
+def test_causal_roundtrip(tmp_path):
+    tr = causal_tracer()
+    assert tr.causal_nodes and tr.causal_msgs
+    path = tmp_path / "trace.jsonl"
+    export_jsonl(tr, path)
+    summary = validate_jsonl(path)
+    assert summary["nodes"] == len(tr.causal_nodes)
+    assert summary["msgs"] == len(tr.causal_msgs)
+
+    back = read_jsonl(path)
+    assert back.causal_nodes == tr.causal_nodes
+    assert back.causal_msgs == tr.causal_msgs
+    # the run counter resumes after the last recorded run
+    assert back.next_causal_run() == tr._next_run
+
+
+def test_v2_files_still_accepted(tmp_path):
+    path = tmp_path / "v2.jsonl"
+    meta = _meta(schema="repro.obs/v2", metrics=1)
+    metric = {"type": "metric", "name": "x", "kind": "gauge", "value": 1.0,
+              "labels": {}, "cycle": None, "rank": None, "v_time": 0.0}
+    path.write_text(json.dumps(meta) + "\n" + json.dumps(metric) + "\n")
+    assert "repro.obs/v2" in SUPPORTED_SCHEMAS
+    summary = validate_jsonl(path)
+    assert summary["metrics"] == 1 and summary["nodes"] == 0
+    assert len(read_jsonl(path).metrics) == 1
+
+
+@pytest.mark.parametrize("rec", [
+    {"type": "node", "run": 0, "id": 0, "rank": 0, "kind": "work",
+     "t_start": 0.0, "t_end": 1.0, "wait": 0.0, "msg": None},
+    {"type": "msg", "run": 0, "id": 0, "src": 0, "dst": 1, "tag": 0,
+     "nwords": 4, "send_node": 0, "recv_node": None},
+])
+def test_causal_records_rejected_in_v2_file(tmp_path, rec):
+    path = tmp_path / "v2.jsonl"
+    meta = _meta(schema="repro.obs/v2")
+    path.write_text(json.dumps(meta) + "\n" + json.dumps(rec) + "\n")
+    with pytest.raises(SchemaError, match="require schema"):
+        validate_jsonl(path)
+
+
+@pytest.mark.parametrize("bad, match", [
+    ({"kind": "think"}, "not in"),
+    ({"t_end": -1.0}, "ends before it starts"),
+    ({"wait": -0.5}, "negative node wait"),
+    ({"msg": 1.5}, "int or null"),
+])
+def test_validate_rejects_bad_node(tmp_path, bad, match):
+    rec = {"type": "node", "run": 0, "id": 0, "rank": 0, "kind": "work",
+           "t_start": 0.0, "t_end": 1.0, "wait": 0.0, "msg": None}
+    rec.update(bad)
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps(_meta(nodes=1)) + "\n"
+                    + json.dumps(rec) + "\n")
+    with pytest.raises(SchemaError, match=match):
+        validate_jsonl(path)
+
+
+def test_validate_rejects_v3_meta_without_causal_counts(tmp_path):
+    meta = _meta()
+    del meta["nodes"]
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps(meta) + "\n")
+    with pytest.raises(SchemaError, match="nodes"):
+        validate_jsonl(path)
+
+
+def test_chrome_trace_flow_events(tmp_path):
+    tr = causal_tracer()
+    path = tmp_path / "trace.json"
+    export_chrome_trace(tr, path)
+    events = json.loads(path.read_text())["traceEvents"]
+    starts = [e for e in events if e["ph"] == "s"]
+    finishes = [e for e in events if e["ph"] == "f"]
+    # one flow pair per *delivered* message, ids matching pairwise
+    delivered = [m for m in tr.causal_msgs if m.recv_node is not None]
+    assert len(starts) == len(finishes) == len(delivered)
+    assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+    by_id = {e["id"]: e for e in starts}
+    for fin in finishes:
+        start = by_id[fin["id"]]
+        assert fin["bp"] == "e"
+        assert start["tid"] != fin["tid"]  # crosses rank threads
+        assert start["ts"] <= fin["ts"]
+    # causal nodes render as vm-category slices on rank threads
+    vm_slices = [e for e in events
+                 if e["ph"] == "X" and e.get("cat") == "vm"]
+    assert len(vm_slices) == len(tr.causal_nodes)
+    assert all(s["tid"] >= 1 for s in vm_slices)
 
 
 def test_chrome_trace_structure(tmp_path):
