@@ -12,8 +12,18 @@ checks the makespan identity (critical-path length == recorded makespan,
 bit-for-bit, with a zero-slack rank in every run) and prints the
 critical-path attribution across the three distributed phases.
 
-Run:  python examples/distributed_adaption.py
+``--backend`` selects the communicator backend executing the rank
+programs (see ``repro.parallel.available_backends``).  On a real
+backend (e.g. ``multiprocessing``) phase times are measured wall
+seconds and the causal-identity check is skipped — only the virtual
+machine records the message DAG — but every payload (the marking
+fixpoint, the migrated element sets, the reassembled mesh) stays
+identical to the virtual run.
+
+Run:  python examples/distributed_adaption.py [--backend multiprocessing]
 """
+
+import argparse
 
 import numpy as np
 
@@ -36,13 +46,27 @@ NPROC = 6
 
 
 def main() -> None:
+    from repro.parallel import available_backends
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--backend", default="virtual", choices=available_backends(),
+        help="communicator backend executing the rank programs",
+    )
+    args = ap.parse_args()
+
     tracer = Tracer()
     with use_tracer(tracer):
-        _pipeline(tracer)
-    _check_causal_record(tracer)
+        _pipeline(tracer, args.backend)
+    if args.backend == "virtual":
+        _check_causal_record(tracer)
+    else:
+        print(f"\n(causal-identity check skipped: the {args.backend!r} "
+              "backend measures wall time and records no message DAG)")
 
 
-def _pipeline(tracer: Tracer) -> None:
+def _pipeline(tracer: Tracer, backend: str = "virtual") -> None:
+    unit = "virtual ms" if backend == "virtual" else "measured ms"
     mesh = box_mesh(4, 4, 4)
     dual = Graph.from_pairs(mesh.dual_pairs, mesh.ne)
     part = multilevel_kway(dual, NPROC, seed=0)
@@ -56,14 +80,14 @@ def _pipeline(tracer: Tracer) -> None:
     # --- execution phase: distributed marking propagation ----------------------
     marks = mark_sphere(mesh, (0.3, 0.3, 0.3), 0.35)
     with tracer.phase("marking"):
-        result = parallel_mark(mesh, locals_, marks)
+        result = parallel_mark(mesh, locals_, marks, backend=backend)
         tracer.advance(result.time_seconds)
     serial = propagate_markings(mesh, marks)
     assert np.array_equal(result.edge_marked, serial.edge_marked)
     print(f"marking: {marks.sum()} edges targeted -> "
           f"{result.edge_marked.sum()} after {result.iterations} propagation "
           f"rounds ({result.messages} SPL messages, "
-          f"{result.time_seconds * 1e3:.2f} virtual ms)")
+          f"{result.time_seconds * 1e3:.2f} {unit})")
 
     # --- load balance for the predicted weights, then migrate -------------------
     am = AdaptiveMesh(mesh)
@@ -71,19 +95,19 @@ def _pipeline(tracer: Tracer) -> None:
     wcomp_pred, _ = am.predicted_weights(marking)
     new_part = repartition(dual.with_vwgt(wcomp_pred), NPROC, part, seed=0)
     with tracer.phase("remap"):
-        mig = migrate(mesh, locals_, new_part)
+        mig = migrate(mesh, locals_, new_part, backend=backend)
         tracer.advance(mig.seconds)
     print(f"migration: moved {mig.elements_moved} elements in "
-          f"{mig.messages} messages ({mig.seconds * 1e3:.2f} virtual ms)")
+          f"{mig.messages} messages ({mig.seconds * 1e3:.2f} {unit})")
 
     # --- subdivide, then gather one global mesh --------------------------------
     am.refine(marking)
     with tracer.phase("gather_scatter"):
-        fin = finalize(mig.locals)
+        fin = finalize(mig.locals, backend=backend)
         tracer.advance(fin.gather_seconds)
     assert fin.mesh.ne == mesh.ne  # pre-subdivision grid reassembles exactly
     print(f"finalization: gathered {fin.mesh.ne} elements / {fin.mesh.nv} "
-          f"vertices in {fin.gather_seconds * 1e3:.2f} virtual ms")
+          f"vertices in {fin.gather_seconds * 1e3:.2f} {unit}")
     print(f"refined global mesh: {am.mesh.ne} elements "
           f"(G = {am.mesh.ne / mesh.ne:.2f})")
 

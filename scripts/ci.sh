@@ -10,6 +10,8 @@
 # violations, >15% wall-time regression vs the committed
 # BENCH_results.json, or any drift in the virtual-second series (which
 # stays bit-identical: causal recording never alters modelled clocks).
+# The multiprocessing smoke runs the calibrate workload on real forked
+# rank processes and fails unless its payloads match the virtual run's.
 set -e
 cd "$(dirname "$0")/.."
 
@@ -28,6 +30,15 @@ grep -q "critical-path attribution by" "$tmp/cpath.txt"
 PYTHONPATH=src python -m repro diff "$tmp/step.jsonl" "$tmp/step.jsonl" > "$tmp/diff.txt"
 grep -q "delta: +0.000000s" "$tmp/diff.txt"
 echo "report smoke: OK"
+
+# multiprocessing-backend smoke: the fig6 exec-phase workload must produce
+# payloads identical to the virtual backend's, under a hard timeout so a
+# hung rank process fails CI instead of wedging it.
+timeout 300 env PYTHONPATH=src python -m repro calibrate 4 --nproc 4 \
+    > "$tmp/calibrate.txt"
+grep -q "backend 'multiprocessing' vs 'virtual'" "$tmp/calibrate.txt"
+grep -q "payloads: identical across backends" "$tmp/calibrate.txt"
+echo "multiprocessing smoke: OK"
 
 python scripts/bench_suite.py --quick --baseline BENCH_results.json --no-write
 echo "ci: OK"

@@ -12,6 +12,11 @@ Chrome export must carry flow events for the delivered messages, and
 ``repro report`` / ``repro critical-path`` / ``repro diff`` must all
 render from the file alone.
 
+A second pass runs ``repro calibrate`` (virtual + multiprocessing
+backends on the exec-phase workload) with ``--trace-out`` and checks
+that backend runs still emit schema-valid traces carrying both the
+modelled makespans and the measured wall clocks.
+
 Exit status 0 on success, 1 with a diagnostic on any failure.
 
 Usage:  python scripts/smoke_trace.py  (from the repo root)
@@ -163,6 +168,41 @@ def main() -> int:
         if "delta: +0.000000s" not in proc.stdout:
             return fail("self-diff did not report a zero makespan delta:\n"
                         f"{proc.stdout}")
+
+        # backend runs must still emit valid obs traces: calibrate runs
+        # the exec-phase workload on virtual + multiprocessing and the
+        # exported JSONL must validate and carry both backends' clocks
+        bjsonl = os.path.join(tmp, "backends.jsonl")
+        cmd = [
+            sys.executable, "-m", "repro", "calibrate", "3", "--nproc", "2",
+            "--trace-out", bjsonl,
+        ]
+        proc = subprocess.run(
+            cmd, env=env, cwd=REPO, capture_output=True, text=True,
+            timeout=300,
+        )
+        if proc.returncode != 0:
+            return fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                        f"{proc.stdout}\n{proc.stderr}")
+        try:
+            bsummary = validate_jsonl(bjsonl)
+        except SchemaError as exc:
+            return fail(f"backend-trace schema violation: {exc}")
+        if bsummary["metrics"] == 0:
+            return fail("backend trace contains no metric samples")
+        btracer = read_jsonl(bjsonl)
+        clocks = {
+            (s.name, s.labels_dict.get("backend"))
+            for s in btracer.metrics.samples()
+            if s.name.startswith("repro.backend.")
+        }
+        for needed in (
+            ("repro.backend.makespan_seconds", "virtual"),
+            ("repro.backend.makespan_seconds", "multiprocessing"),
+            ("repro.backend.wall_seconds", "multiprocessing"),
+        ):
+            if needed not in clocks:
+                return fail(f"backend trace lacks {needed}; got {clocks}")
 
     print(f"smoke_trace: OK ({summary['spans']} spans, "
           f"{summary['events']} events, {summary['metrics']} metrics, "

@@ -10,7 +10,14 @@ report [RESOLUTION | TRACE.jsonl]
 step [RESOLUTION]
     Run one load-balanced adapt/balance cycle on the rotor case and print
     its phase anatomy from tracer spans (``--nproc`` selects P,
-    ``--reassigner`` the processor-reassignment algorithm).
+    ``--reassigner`` the processor-reassignment algorithm, ``--backend``
+    the communicator backend executing the remap's rank programs).
+calibrate [RESOLUTION]
+    Run the fig6 exec-phase workload (marking propagation, distributed
+    subdivision, migration, finalization gather) on the virtual backend
+    and on each real-execution backend (default: multiprocessing),
+    verify the payloads are identical, and print measured wall seconds
+    against the LogGP-modelled virtual seconds phase by phase.
 critical-path TRACE.jsonl
     Reconstruct the happens-before DAG from an exported trace and print
     the virtual-time critical path: makespan attribution by
@@ -92,7 +99,26 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("heuristic_mwbg", "optimal_mwbg", "optimal_bmcm", "combined"),
         help="processor-reassignment algorithm for the balance phase",
     )
+    p_step.add_argument(
+        "--backend", default="virtual",
+        help="communicator backend for the remap's rank programs "
+             "(see `python -m repro calibrate --help` for the registry)",
+    )
     add_tracing(p_step)
+
+    p_cal = sub.add_parser(
+        "calibrate",
+        help="measured-vs-modelled phase times on the exec-phase workload",
+    )
+    p_cal.add_argument("resolution", nargs="?", type=int, default=4)
+    p_cal.add_argument("--nproc", type=int, default=4)
+    p_cal.add_argument(
+        "--backend", action="append", default=None, metavar="NAME",
+        help="measured backend(s) to compare against 'virtual' "
+             "(repeatable; default: every registered real-execution "
+             "backend except mpi4py)",
+    )
+    add_tracing(p_cal)
 
     p_cp = sub.add_parser(
         "critical-path",
@@ -188,12 +214,19 @@ def _cmd_step(args) -> int:
         cost_model=CostModel(machine=SP2_1997),
         imbalance_threshold=1.0,
         reassigner=args.reassigner,
+        backend=args.backend,
         tracer=tracer,
     )
     report = solver.adapt_step(edge_mask=case.marking_mask(args.strategy))
 
+    clock = (
+        "times are virtual seconds"
+        if args.backend == "virtual"
+        else f"remap ran on the {args.backend!r} backend (measured wall); "
+             "other phases are virtual seconds"
+    )
     print(f"one {args.strategy} step at resolution {args.resolution} "
-          f"on P={args.nproc} ({args.reassigner}; times are virtual seconds):")
+          f"on P={args.nproc} ({args.reassigner}; {clock}):")
     for name, seconds in report.phase_times().items():
         print(f"  {name:14s} {seconds:10.6f}")
     print(f"  {'total':14s} {report.total_time:10.6f}")
@@ -203,6 +236,33 @@ def _cmd_step(args) -> int:
     print(format_counters(tracer))
     _export(tracer, args.trace_out, args.chrome_out)
     return 0
+
+
+def _cmd_calibrate(args) -> int:
+    from repro.experiments import calibrate, format_calibration
+    from repro.obs import Tracer
+    from repro.parallel import available_backends
+
+    backends = args.backend
+    if backends is not None:
+        unknown = [b for b in backends if b not in available_backends()]
+        if unknown:
+            print(
+                f"error: unknown backend(s) {unknown}; registered: "
+                f"{', '.join(available_backends())}",
+                file=sys.stderr,
+            )
+            return 2
+        backends = tuple(b for b in backends if b != "virtual")
+    tracing = bool(args.trace_out or args.chrome_out)
+    tracer = Tracer() if tracing else None
+    report = calibrate(
+        args.resolution, args.nproc, backends=backends, tracer=tracer
+    )
+    print(format_calibration(report))
+    if tracer is not None:
+        _export(tracer, args.trace_out, args.chrome_out)
+    return 0 if report.payloads_identical else 1
 
 
 def _read_trace(path: str):
@@ -277,6 +337,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "step":
         return _cmd_step(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
     if args.command == "critical-path":
         return _cmd_critical_path(args)
     if args.command == "diff":

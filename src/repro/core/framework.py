@@ -138,6 +138,13 @@ class LoadBalancedAdaptiveSolver:
         ``"after"`` — the baseline: subdivide first, then balance.
     imbalance_threshold:
         Predicted-imbalance level above which repartitioning is attempted.
+    backend:
+        Communicator backend name (or object) executing the remap's rank
+        programs — see :func:`repro.parallel.create_communicator`.  On
+        the default ``"virtual"`` backend the remap time is modelled
+        virtual seconds (bit-identical to previous releases); on a
+        real-execution backend (``"multiprocessing"``, ``"mpi4py"``) it
+        is the measured wall makespan of the actual migration program.
     tracer:
         Optional :class:`repro.obs.Tracer` to record phase spans, point
         events, and counters into.  When omitted, the ambient tracer
@@ -158,6 +165,7 @@ class LoadBalancedAdaptiveSolver:
         remap_when: str = "before",
         imbalance_threshold: float = 1.1,
         seed: int = 0,
+        backend="virtual",
         tracer: Tracer | None = None,
     ):
         if nproc < 1:
@@ -186,6 +194,7 @@ class LoadBalancedAdaptiveSolver:
         self.remap_when = remap_when
         self.imbalance_threshold = imbalance_threshold
         self.seed = seed
+        self.backend = backend
         self.tracer = tracer
         self.dual = DualGraph(self.adaptive.initial_mesh)
         # initial partitioning + mapping (Fig. 1's initialization box):
@@ -468,6 +477,7 @@ class LoadBalancedAdaptiveSolver:
                     storage_words=self.cost_model.storage_words,
                     machine=self.machine,
                     tracer=tracer,
+                    backend=self.backend,
                 )
                 tracer.advance(execu.time_seconds)
                 sp.attrs.update(

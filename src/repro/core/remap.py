@@ -16,8 +16,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.parallel.backends import record_backend_run, resolve_backend
 from repro.parallel.machine import MachineModel, SP2_1997
-from repro.parallel.runtime import VirtualMachine, per_rank
+from repro.parallel.runtime import per_rank
 
 __all__ = ["RemapExecution", "build_move_matrix", "execute_remap"]
 
@@ -64,6 +65,7 @@ def execute_remap(
     storage_words: int = 24,
     machine: MachineModel = SP2_1997,
     tracer=None,
+    backend="virtual",
 ) -> RemapExecution:
     """Migrate ownership from ``old_proc`` to ``new_proc`` on the VM.
 
@@ -71,10 +73,11 @@ def execute_remap(
     processor before and after.  With ``tracer`` set to a
     :class:`repro.obs.Tracer`, every virtual-machine send/recv of the
     migration program is mirrored into it, so the exported trace shows
-    the full communication schedule of the remap.
+    the full communication schedule of the remap.  ``backend`` selects
+    the communicator backend executing the migration program.
     """
     move = build_move_matrix(old_proc, new_proc, wremap, nproc)
-    vm = VirtualMachine(nproc, machine, tracer=tracer)
+    comm = resolve_backend(backend, nproc, machine=machine, tracer=tracer)
 
     send_plans = [
         [(d, int(move[r, d])) for d in range(nproc) if move[r, d] > 0]
@@ -103,7 +106,8 @@ def execute_remap(
         yield from comm.barrier()
         return got
 
-    res = vm.run(program, per_rank(send_plans), per_rank(recv_counts))
+    res = comm.run(program, per_rank(send_plans), per_rank(recv_counts))
+    record_backend_run(tracer, "remap", res)
 
     received = np.array(res.returns)
     expected_in = move.sum(axis=0)

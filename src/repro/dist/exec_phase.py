@@ -27,8 +27,9 @@ import numpy as np
 from repro.adapt.marking import element_patterns
 from repro.adapt.patterns import UPGRADE, pattern_bits
 from repro.mesh.tetmesh import TetMesh
+from repro.parallel.backends import record_backend_run, resolve_backend
 from repro.parallel.machine import MachineModel, SP2_1997
-from repro.parallel.runtime import VirtualMachine, per_rank
+from repro.parallel.runtime import per_rank
 
 from .localmesh import LocalMesh
 
@@ -52,6 +53,7 @@ def parallel_mark(
     initial_marks: np.ndarray,
     machine: MachineModel = SP2_1997,
     tracer=None,
+    backend="virtual",
 ) -> ParallelMarkResult:
     """Run the marking-propagation loop as SPMD programs over local meshes.
 
@@ -59,7 +61,11 @@ def parallel_mark(
     (the error-indicator targeting, which is symmetric across shared edges
     "because shared edges have the same flow and geometry information
     regardless of their processor number").  ``tracer`` (or the ambient
-    one) records the loop's events and causal message DAG.
+    one) records the loop's events and causal message DAG.  ``backend``
+    selects the communicator backend (a registered name or a ready-made
+    backend object); ``time_seconds`` is then that backend's makespan —
+    modelled virtual seconds on ``virtual``, measured wall seconds on the
+    real-execution backends.
     """
     if tracer is None:
         from repro.obs import current_tracer
@@ -125,14 +131,15 @@ def parallel_mark(
                 break
         return marked, rounds
 
-    vm = VirtualMachine(nproc, machine, tracer=tracer)
-    res = vm.run(
+    comm = resolve_backend(backend, nproc, machine=machine, tracer=tracer)
+    res = comm.run(
         program,
         per_rank(locals_),
         per_rank(local_marks0),
         per_rank(neighbours),
         per_rank(shared_with),
     )
+    record_backend_run(tracer, "mark", res)
 
     merged = np.zeros(global_mesh.nedges, dtype=bool)
     rounds = 0

@@ -20,8 +20,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.mesh.tetmesh import TetMesh
+from repro.parallel.backends import record_backend_run, resolve_backend
 from repro.parallel.machine import MachineModel, SP2_1997
-from repro.parallel.runtime import VirtualMachine, per_rank
+from repro.parallel.runtime import per_rank
 
 from .localmesh import LocalMesh
 
@@ -43,6 +44,7 @@ def finalize(
     machine: MachineModel = SP2_1997,
     host: int = 0,
     tracer=None,
+    backend="virtual",
 ) -> FinalizeResult:
     """Assemble the per-rank subgrids into one global mesh.
 
@@ -117,9 +119,9 @@ def finalize(
         from repro.obs import current_tracer
 
         tracer = current_tracer()
-    res = VirtualMachine(nproc, machine, tracer=tracer).run(
-        program, per_rank(payload_words)
-    )
+    comm = resolve_backend(backend, nproc, machine=machine, tracer=tracer)
+    res = comm.run(program, per_rank(payload_words))
+    record_backend_run(tracer, "gather", res)
 
     return FinalizeResult(
         mesh=mesh,

@@ -19,8 +19,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.mesh.tetmesh import TetMesh
+from repro.parallel.backends import record_backend_run, resolve_backend
 from repro.parallel.machine import MachineModel, SP2_1997
-from repro.parallel.runtime import VirtualMachine, per_rank
+from repro.parallel.runtime import per_rank
 
 from .decompose import decompose
 from .localmesh import LocalMesh
@@ -44,6 +45,7 @@ def migrate(
     rebuild_work_per_elem: float = 6.0,
     machine: MachineModel = SP2_1997,
     tracer=None,
+    backend="virtual",
 ) -> MigrateResult:
     """Move elements so rank ``r`` ends up owning ``new_part == r``.
 
@@ -51,7 +53,9 @@ def migrate(
     per-element storage model; each rank pays rebuild work proportional to
     its new local size (compaction + shared-data reconstruction).
     ``tracer`` (or the ambient one) records the migration's events and
-    causal message DAG.
+    causal message DAG.  ``backend`` selects the communicator backend;
+    ``seconds`` is that backend's makespan (modelled on ``virtual``,
+    measured wall on real-execution backends).
     """
     if tracer is None:
         from repro.obs import current_tracer
@@ -92,12 +96,14 @@ def migrate(
         yield from comm.compute(rebuild_work_per_elem * new_size)
         yield from comm.barrier()
 
-    res = VirtualMachine(nproc, machine, tracer=tracer).run(
+    comm = resolve_backend(backend, nproc, machine=machine, tracer=tracer)
+    res = comm.run(
         program,
         per_rank(send_plans),
         per_rank(recv_counts),
         per_rank([int(s) for s in new_sizes]),
     )
+    record_backend_run(tracer, "migrate", res)
 
     new_locals = decompose(global_mesh, new_part, nproc)
     return MigrateResult(

@@ -28,8 +28,9 @@ from repro.adapt.patterns import UPGRADE
 from repro.adapt.refine import SUBDIV_WORK_PER_CHILD, subdivide
 from repro.mesh.tetmesh import TetMesh
 from repro.mesh.topology import FACE_EDGE_MASKS
+from repro.parallel.backends import record_backend_run, resolve_backend
 from repro.parallel.machine import MachineModel, SP2_1997
-from repro.parallel.runtime import VirtualMachine, per_rank
+from repro.parallel.runtime import per_rank
 
 from .localmesh import LocalMesh
 
@@ -65,11 +66,15 @@ def parallel_refine(
     marking: MarkingResult,
     machine: MachineModel = SP2_1997,
     tracer=None,
+    backend="virtual",
 ) -> ParallelRefineResult:
     """Subdivide every local mesh under a globally-consistent marking.
 
     ``tracer`` (or the ambient one) records the virtual machine's events
-    and causal message DAG.
+    and causal message DAG.  ``backend`` selects the communicator backend
+    executing the rank programs; the subdivision work is real on every
+    backend, so payloads (the refined local meshes) are identical across
+    backends while ``time_seconds`` switches from modelled to measured.
     """
     if tracer is None:
         from repro.obs import current_tracer
@@ -120,14 +125,15 @@ def parallel_refine(
         yield from comm.barrier()
         return result.mesh, result.mesh.ne
 
-    vm = VirtualMachine(nproc, machine, tracer=tracer)
-    res = vm.run(
+    comm = resolve_backend(backend, nproc, machine=machine, tracer=tracer)
+    res = comm.run(
         program,
         per_rank([x[0] for x in local_inputs]),
         per_rank([x[1] for x in local_inputs]),
         per_rank([x[2] for x in local_inputs]),
         per_rank([x[3] for x in local_inputs]),
     )
+    record_backend_run(tracer, "refine", res)
 
     meshes = [ret[0] for ret in res.returns]
     total_children = sum(ret[1] for ret in res.returns)

@@ -1,5 +1,11 @@
 """Reproduction harness for every table and figure of the paper's §5."""
 
+from .calibrate import (
+    CalibrationReport,
+    calibrate,
+    format_calibration,
+    run_exec_phase_workload,
+)
 from .cases import CASE_NAMES, PROC_COUNTS, REAL_FRACTIONS, RotorCase, make_case
 from .figures import (
     PAPER_G,
@@ -16,13 +22,16 @@ from .table2 import MapperRow, mapper_comparison
 
 __all__ = [
     "CASE_NAMES",
+    "CalibrationReport",
     "MapperRow",
     "PAPER_G",
     "PROC_COUNTS",
     "REAL_FRACTIONS",
     "RotorCase",
     "SWEEP_PROCS",
+    "calibrate",
     "case_for",
+    "format_calibration",
     "fig4_speedup",
     "fig5_remap_times",
     "fig6_anatomy",
@@ -32,5 +41,6 @@ __all__ = [
     "make_case",
     "mapper_comparison",
     "max_improvement",
+    "run_exec_phase_workload",
     "run_step",
 ]

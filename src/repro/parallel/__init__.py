@@ -25,6 +25,11 @@ from .runtime import (
 )
 from .rma import RmaWindow
 from .simcomm import Comm, Request, SubComm
+from .backends import (
+    available_backends,
+    create_communicator,
+    register_backend,
+)
 
 __all__ = [
     "ANY",
@@ -40,6 +45,9 @@ __all__ = [
     "TraceEvent",
     "SP2_1997",
     "VirtualMachine",
+    "available_backends",
+    "create_communicator",
     "per_rank",
+    "register_backend",
     "word_count",
 ]

@@ -1,0 +1,312 @@
+"""One-process-per-rank backend over ``multiprocessing`` queues.
+
+Each rank runs in its own forked OS process and drives the *same*
+generator rank program the virtual machine runs: ``SendOp`` puts the
+payload on the destination rank's inbound queue, ``RecvOp`` / ``ProbeOp``
+drain the queue into a local :class:`~repro.parallel.runtime._IndexedMailbox`
+whose ``(source, tag)`` matching — including ``ANY`` wildcards and
+per-(source, tag) FIFO order — is exactly the virtual machine's.
+``WorkOp`` / ``ElapseOp`` cost nothing here: the *real* Python work the
+program performs between yields is what the measured clocks capture.
+
+The ``fork`` start method is required (and requested explicitly): rank
+programs are closures over mesh data, which fork inherits by memory image
+instead of pickling.  Message payloads do cross process boundaries and
+must pickle — true of every payload type this library sends.
+
+Clocks in the returned :class:`~repro.parallel.runtime.RunResult` are
+measured host wall seconds per rank; ``waited`` time (blocked on an empty
+queue) is separated out so busy/idle splits stay meaningful.  Scheduling
+is the OS's, so arrival *interleaving* across sources is nondeterministic
+— programs whose results depend only on mailbox matching semantics (all
+of this library's) produce payload-identical results to ``virtual``,
+which the conformance suite pins.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+
+from ..machine import SP2_1997, MachineModel
+from ..runtime import (
+    ANY,
+    DeadlockError,
+    ElapseOp,
+    ProbeOp,
+    RecvOp,
+    RunResult,
+    SendOp,
+    WorkOp,
+    _IndexedMailbox,
+    _Message,
+    per_rank,
+)
+
+__all__ = ["MultiprocessingBackend"]
+
+#: Default seconds a rank may block on one receive before the run is
+#: declared deadlocked (real transports cannot scan a global wait graph).
+DEFAULT_TIMEOUT = 60.0
+
+
+class MultiprocessingBackend:
+    """Run rank programs on real cores, one forked process per rank."""
+
+    name = "multiprocessing"
+    #: Payloads are reproducible; clocks and cross-source arrival order
+    #: are not (they are measured, not modelled).
+    deterministic = False
+    measured = True
+
+    def __init__(self, nranks: int, machine: MachineModel = SP2_1997,
+                 timeout: float = DEFAULT_TIMEOUT, tracer=None, **_ignored):
+        if nranks < 1:
+            raise ValueError(f"need at least one rank, got {nranks}")
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "the multiprocessing backend needs the 'fork' start method "
+                "(rank programs are closures and cannot be pickled)"
+            )
+        self.nranks = nranks
+        self.machine = machine
+        self.timeout = timeout
+        self.tracer = tracer  # wall metrics only; no causal record
+
+    def run(self, program, *args, **kwargs) -> RunResult:
+        """Run ``program(comm, *args, **kwargs)`` on every rank.
+
+        Accepts :class:`~repro.parallel.runtime.per_rank` wrappers exactly
+        like :meth:`VirtualMachine.run`.  Raises
+        :class:`~repro.parallel.runtime.DeadlockError` when any rank's
+        receive times out, and ``RuntimeError`` when a rank process dies.
+        """
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        inboxes = [ctx.Queue() for _ in range(self.nranks)]
+        result_q = ctx.Queue()
+
+        procs = []
+        t0 = time.perf_counter()
+        for r in range(self.nranks):
+            a = [x.values[r] if isinstance(x, per_rank) else x for x in args]
+            kw = {
+                k: (v.values[r] if isinstance(v, per_rank) else v)
+                for k, v in kwargs.items()
+            }
+            p = ctx.Process(
+                target=_rank_worker,
+                args=(r, self.nranks, self.machine, program, a, kw,
+                      inboxes, result_q, self.timeout),
+                daemon=True,
+            )
+            p.start()
+            procs.append(p)
+
+        results: dict[int, tuple] = {}
+        deadline = time.perf_counter() + self.timeout + 30.0
+        try:
+            while len(results) < self.nranks:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"multiprocessing backend: ranks "
+                        f"{sorted(set(range(self.nranks)) - set(results))} "
+                        "did not report back in time"
+                    )
+                try:
+                    record = result_q.get(timeout=min(remaining, 1.0))
+                except Exception:
+                    dead = [r for r, p in enumerate(procs)
+                            if not p.is_alive() and r not in results]
+                    if dead:
+                        raise RuntimeError(
+                            f"multiprocessing backend: rank processes {dead} "
+                            "died without reporting a result"
+                        ) from None
+                    continue
+                if record[0] == "error":
+                    _rank, kind, text = record[1], record[2], record[3]
+                    if kind == "deadlock":
+                        raise DeadlockError(text)
+                    raise RuntimeError(
+                        f"rank {_rank} failed on the multiprocessing "
+                        f"backend:\n{text}"
+                    )
+                results[record[1]] = record[2:]
+        finally:
+            for p in procs:
+                if p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=5.0)
+            for q in inboxes:
+                q.close()
+                q.cancel_join_thread()
+        wall = time.perf_counter() - t0
+
+        returns, clocks, waited = [], [], []
+        words_s, msgs_s, words_r, msgs_r = [], [], [], []
+        for r in range(self.nranks):
+            retval, stats = results[r]
+            returns.append(retval)
+            clocks.append(stats["wall"])
+            waited.append(stats["waited"])
+            words_s.append(stats["words_sent"])
+            msgs_s.append(stats["msgs_sent"])
+            words_r.append(stats["words_recv"])
+            msgs_r.append(stats["msgs_recv"])
+        makespan = max(clocks) if clocks else 0.0
+        busy = [c - w for c, w in zip(clocks, waited)]
+        idle = [makespan - b for b in busy]
+        if self.tracer is not None:
+            for r in range(self.nranks):
+                self.tracer.metric(
+                    "repro.backend.rank_wall_seconds", clocks[r],
+                    kind="counter", rank=r, backend=self.name,
+                )
+        return RunResult(
+            returns=returns,
+            clocks=clocks,
+            total_messages=sum(msgs_s),
+            total_words=sum(words_s),
+            words_sent_per_rank=words_s,
+            words_recv_per_rank=words_r,
+            msgs_sent_per_rank=msgs_s,
+            msgs_recv_per_rank=msgs_r,
+            busy_per_rank=busy,
+            idle_per_rank=idle,
+            wall_seconds=wall,
+            backend=self.name,
+        )
+
+
+def _rank_worker(rank, size, machine, program, args, kwargs,
+                 inboxes, result_q, timeout):
+    """Child-process entry: drive one rank's generator over the queues."""
+    try:
+        retval, stats = _drive(rank, size, machine, program, args, kwargs,
+                               inboxes, timeout)
+        result_q.put(("ok", rank, retval, stats))
+    except _RecvTimeout as exc:
+        result_q.put(("error", rank, "deadlock", str(exc)))
+    except BaseException:
+        result_q.put(("error", rank, "exception", traceback.format_exc()))
+
+
+class _RecvTimeout(RuntimeError):
+    pass
+
+
+def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout):
+    from ..simcomm import Comm
+
+    comm = Comm(rank, size, machine)
+    gen = program(comm, *args, **kwargs)
+    if not hasattr(gen, "send"):
+        raise TypeError(
+            "rank program must be a generator function "
+            f"(got {type(gen).__name__} from {program!r})"
+        )
+    import queue as _queue
+
+    mailbox = _IndexedMailbox()
+    inbox = inboxes[rank]
+    seq = 0
+    waited = 0.0
+    words_sent = msgs_sent = words_recv = msgs_recv = 0
+    t0 = time.perf_counter()
+
+    def drain_nonblocking():
+        nonlocal seq
+        while True:
+            try:
+                src, tag, payload, nwords = inbox.get_nowait()
+            except _queue.Empty:
+                return
+            seq += 1
+            mailbox.add(_Message(src, tag, payload, nwords, 0.0, seq))
+
+    value = None
+    while True:
+        try:
+            op = gen.send(value)
+        except StopIteration as stop:
+            retval = stop.value
+            break
+        value = None
+        if isinstance(op, SendOp):
+            if not 0 <= op.dest < size:
+                raise ValueError(f"rank {rank}: send to invalid rank {op.dest}")
+            inboxes[op.dest].put((rank, op.tag, op.payload, op.nwords))
+            words_sent += op.nwords
+            msgs_sent += 1
+        elif isinstance(op, RecvOp):
+            drain_nonblocking()
+            msg = mailbox.pop_match(op.source, op.tag)
+            give_up = time.perf_counter() + timeout
+            while msg is None:
+                budget = give_up - time.perf_counter()
+                if budget <= 0:
+                    raise _RecvTimeout(_timeout_text(rank, op, mailbox, timeout))
+                w0 = time.perf_counter()
+                try:
+                    src, tag, payload, nwords = inbox.get(
+                        timeout=min(budget, 1.0)
+                    )
+                except _queue.Empty:
+                    waited += time.perf_counter() - w0
+                    continue
+                waited += time.perf_counter() - w0
+                give_up = time.perf_counter() + timeout  # progress: rearm
+                seq += 1
+                mailbox.add(_Message(src, tag, payload, nwords, 0.0, seq))
+                msg = mailbox.pop_match(op.source, op.tag)
+            words_recv += msg.nwords
+            msgs_recv += 1
+            value = (msg.payload, msg.source, msg.tag)
+        elif isinstance(op, ProbeOp):
+            drain_nonblocking()
+            msg = mailbox.pop_match(op.source, op.tag)
+            if msg is not None:
+                words_recv += msg.nwords
+                msgs_recv += 1
+                value = (True, (msg.payload, msg.source, msg.tag))
+            else:
+                value = (False, None)
+        elif isinstance(op, (WorkOp, ElapseOp)):
+            # modelled time only; the measured clock runs on its own
+            pass
+        else:
+            raise TypeError(f"rank {rank} yielded unknown op {op!r}")
+
+    stats = {
+        "wall": time.perf_counter() - t0,
+        "waited": waited,
+        "words_sent": words_sent,
+        "msgs_sent": msgs_sent,
+        "words_recv": words_recv,
+        "msgs_recv": msgs_recv,
+    }
+    return retval, stats
+
+
+def _fmt(v):
+    return "ANY" if v == ANY else str(v)
+
+
+def _timeout_text(rank, op, mailbox, timeout):
+    census: dict[tuple[int, int], int] = {}
+    for m in mailbox.messages():
+        census[(m.source, m.tag)] = census.get((m.source, m.tag), 0) + 1
+    listing = ", ".join(
+        f"(source={s}, tag={t})×{n}" for (s, t), n in sorted(census.items())
+    ) or "empty"
+    return (
+        f"rank {rank}: recv(source={_fmt(op.source)}, tag={_fmt(op.tag)}) "
+        f"got no matching message within {timeout:.0f}s "
+        f"(likely deadlock); unmatched mailbox: {listing}"
+    )

@@ -251,10 +251,17 @@ class RunResult:
     #: whenever the run was traced, None otherwise.
     nodes: list | None = None
     msgs: list | None = None
+    #: Host wall-clock seconds the run took end to end (set by the
+    #: communicator backends; None when the run was driven directly).
+    wall_seconds: float | None = None
+    #: Name of the communicator backend that produced this result.
+    backend: str = "virtual"
 
     @property
     def makespan(self) -> float:
-        """Virtual wall-clock time of the run (slowest rank)."""
+        """Completion time of the slowest rank, in this run's clock:
+        modelled virtual seconds on the ``virtual`` backend, measured
+        wall seconds on the real-execution backends."""
         return max(self.clocks) if self.clocks else 0.0
 
 

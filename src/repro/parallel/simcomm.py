@@ -39,9 +39,18 @@ _TAG_ALLGATHER = _TAG_BASE + 6
 _TAG_ALLTOALL = _TAG_BASE + 7
 _TAG_SCAN = _TAG_BASE + 8
 # sub-communicator traffic: each split gets a deterministic block of tags
-# above this base (user tags < _SUB_TAG_SPAN, collectives remapped after)
+# above this base (user tags < _SUB_TAG_SPAN, collectives remapped after).
+# Blocks are indexed by folding the communicator's split-id path through
+# the Cantor pairing (see SubComm._map_tag), so nested splits can never
+# land inside a sibling split's block.
 _TAG_SUB_BASE = _TAG_BASE + 4096
 _SUB_TAG_SPAN = 1024
+_SUB_BLOCK = 2 * _SUB_TAG_SPAN
+
+
+def _cantor(a: int, b: int) -> int:
+    """Cantor pairing: injective ``(a, b) -> n`` over the naturals."""
+    return (a + b) * (a + b + 1) // 2 + b
 
 
 class Request:
@@ -235,24 +244,30 @@ class Comm:
     def reduce(self, obj: Any, op: Callable = operator.add, root: int = 0):
         """Binomial-tree reduction to ``root``; result there, None elsewhere.
 
-        ``op`` must be associative; reduction order over ranks is fixed, so
-        runs are deterministic even for non-commutative ``op``.
+        ``op`` must be associative; the combine order is *rank* order
+        (``x_0 ⊕ x_1 ⊕ … ⊕ x_{P-1}``) for every root, so runs are
+        deterministic and root-independent even for non-commutative
+        ``op``.  The tree is always rooted at rank 0 (whose binomial
+        schedule combines contiguous rank blocks left to right); for
+        ``root != 0`` the result travels one extra hop to ``root``.
         """
-        vrank = (self.rank - root) % self.size
         acc = obj
         mask = 1
         while mask < self.size:
-            if vrank & mask:
-                parent = ((vrank & ~mask) + root) % self.size
+            if self.rank & mask:
+                parent = self.rank & ~mask
                 yield from self._send(parent, _TAG_REDUCE, acc, word_count(acc))
                 break
-            child = vrank | mask
+            child = self.rank | mask
             if child < self.size:
-                payload, _s, _t = yield from self._recv(
-                    (child + root) % self.size, _TAG_REDUCE
-                )
+                payload, _s, _t = yield from self._recv(child, _TAG_REDUCE)
                 acc = op(acc, payload)
             mask *= 2
+        if root != 0:
+            if self.rank == 0:
+                yield from self._send(root, _TAG_REDUCE, acc, word_count(acc))
+            elif self.rank == root:
+                acc, _s, _t = yield from self._recv(0, _TAG_REDUCE)
         return acc if self.rank == root else None
 
     def allreduce(self, obj: Any, op: Callable = operator.add):
@@ -376,13 +391,37 @@ class SubComm(Comm):
         self.parent = parent
         self.parent_ranks = list(parent_ranks)
         self._to_local = {g: l for l, g in enumerate(parent_ranks)}
-        self._tag_base = _TAG_SUB_BASE + split_id * 2 * _SUB_TAG_SPAN
+        self._split_id = split_id
+        self._tag_base = _TAG_SUB_BASE + _cantor(split_id, 0) * _SUB_BLOCK
 
     def _map_tag(self, tag: int) -> int:
+        """Translate a tag into the parent communicator's tag space.
+
+        The block index of this communicator's own traffic is
+        ``cantor(split_id, 0)``; traffic arriving from a *nested*
+        sub-communicator (already mapped into some block ``b`` relative to
+        this communicator) is re-blocked to ``cantor(split_id, b + 1)``.
+        Folding the pairing along the split path keeps every communicator's
+        final block distinct unless the communicators share the whole path
+        — and same-path communicators are sibling colors of the same
+        collective split calls, whose rank sets are disjoint, so their
+        (identically tagged) traffic can never cross-match.  Offsets within
+        a block (user tags below, collective tags above ``_SUB_TAG_SPAN``)
+        are preserved at every level.
+        """
         if tag == ANY:
             raise ValueError("tag=ANY is not supported inside a SubComm")
-        if tag >= _TAG_BASE:  # internal collective tag
-            return self._tag_base + _SUB_TAG_SPAN + (tag - _TAG_BASE)
+        if tag >= _TAG_SUB_BASE:  # nested sub-communicator traffic
+            block, off = divmod(tag - _TAG_SUB_BASE, _SUB_BLOCK)
+            return (
+                _TAG_SUB_BASE
+                + _cantor(self._split_id, block + 1) * _SUB_BLOCK
+                + off
+            )
+        if tag >= _TAG_BASE:  # this communicator's own collective tags
+            off = tag - _TAG_BASE
+            assert off < _SUB_TAG_SPAN, f"collective tag overflow: {tag}"
+            return self._tag_base + _SUB_TAG_SPAN + off
         if not 0 <= tag < _SUB_TAG_SPAN:
             raise ValueError(
                 f"SubComm user tags must be in [0, {_SUB_TAG_SPAN}), got {tag}"

@@ -208,3 +208,105 @@ class TestSplit:
             group = [x for x in range(6) if x % 2 == r % 2]
             assert data == group
             assert s == group.index(r) + 1
+
+
+class TestNestedSplitIsolation:
+    def test_split_of_split_cross_traffic(self):
+        """A grandchild collective must not be captured by a receive on a
+        sibling root-level split between the same rank pair.
+
+        Regression: ``_map_tag`` used to re-block nested tags as
+        ``_tag_base + span + (tag - _TAG_BASE)``, which lands a
+        split-of-split's broadcast (split path 0 -> 0) exactly on the
+        fourth root-level split's user tag 2 — so the FIFO mailbox
+        delivered the grandchild's payload to the sibling's ``recv``.
+        """
+
+        def prog(comm):
+            half = yield from comm.split(color=comm.rank // 2)  # split id 0
+            _s1 = yield from comm.split(color=0)                # split id 1
+            _s2 = yield from comm.split(color=0)                # split id 2
+            d3 = yield from comm.split(color=0)                 # split id 3
+            gc = yield from half.split(color=0)                 # grandchild
+            out = {}
+            if comm.rank == 0:
+                # the grandchild broadcast's payload goes on the wire
+                # first, then the sibling split's user message
+                out["gc"] = yield from gc.bcast("gc-payload", root=0)
+                yield from d3.send("d3-payload", dest=1, tag=2)
+            elif comm.rank == 1:
+                # receive the sibling message *before* entering the
+                # grandchild collective: under a tag collision the FIFO
+                # mailbox would hand over the broadcast payload instead
+                out["d3"] = yield from d3.recv(source=0, tag=2)
+                out["gc"] = yield from gc.bcast(None, root=0)
+            else:
+                payload = "gc-payload" if gc.rank == 0 else None
+                out["gc"] = yield from gc.bcast(payload, root=0)
+            return out
+
+        res = VirtualMachine(4, IDEAL).run(prog)
+        assert res.returns[1]["d3"] == "d3-payload"
+        assert all(r["gc"] == "gc-payload" for r in res.returns)
+
+    def test_nested_collectives_stay_isolated(self):
+        """Same-tag collectives racing on parent, child, and grandchild
+        communicators between overlapping rank sets all resolve correctly."""
+
+        def prog(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            nested = yield from sub.split(color=sub.rank % 2)
+            a = yield from nested.allreduce(comm.rank)
+            b = yield from sub.allreduce(comm.rank)
+            c = yield from comm.allreduce(comm.rank)
+            return a, b, c
+
+        p = 8
+        res = VirtualMachine(p, IDEAL).run(prog)
+        for r in range(p):
+            group = [x for x in range(p) if x % 2 == r % 2]
+            nested_group = group[group.index(r) % 2 :: 2]
+            assert res.returns[r] == (
+                sum(nested_group), sum(group), sum(range(p))
+            )
+
+    def test_map_tag_injective_over_split_family(self):
+        """Wire tags of distinct split paths never overlap, and never leak
+        into the parent's user or collective tag ranges."""
+        from repro.parallel.machine import IDEAL as _IDEAL
+        from repro.parallel.simcomm import (
+            _TAG_BASE,
+            _SUB_TAG_SPAN,
+            Comm,
+            SubComm,
+        )
+
+        root = Comm(0, 2, _IDEAL)
+        family = []
+
+        def expand(parent, path, depth):
+            for sid in range(3):
+                sub = SubComm(parent, [0, 1], 0, sid)
+                family.append((path + (sid,), sub))
+                if depth < 2:
+                    expand(sub, path + (sid,), depth + 1)
+
+        expand(root, (), 0)
+
+        def wire(comm, tag):
+            while isinstance(comm, SubComm):
+                tag = comm._map_tag(tag)
+                comm = comm.parent
+            return tag
+
+        probes = [0, 1, _SUB_TAG_SPAN - 1] + [_TAG_BASE + k for k in range(1, 9)]
+        seen = {}
+        for path, comm in family:
+            for tag in probes:
+                w = wire(comm, tag)
+                assert w >= _TAG_BASE, (path, tag)  # never a root user tag
+                assert w not in range(_TAG_BASE, _TAG_BASE + 9)  # nor collective
+                key = seen.setdefault(w, (path, tag))
+                assert key == (path, tag), (
+                    f"wire tag {w} shared by {key} and {(path, tag)}"
+                )

@@ -1,0 +1,181 @@
+"""The communicator-backend registry and the real-process drivers."""
+
+import importlib.util
+import operator
+
+import pytest
+
+from repro.parallel import (
+    ANY,
+    IDEAL,
+    VirtualMachine,
+    available_backends,
+    create_communicator,
+    register_backend,
+)
+from repro.parallel.backends import _REGISTRY, record_backend_run, resolve_backend
+from repro.parallel.runtime import DeadlockError, RunResult, per_rank
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_backends()
+        assert "virtual" in names
+        assert "multiprocessing" in names
+
+    def test_mpi4py_registered_iff_importable(self):
+        importable = importlib.util.find_spec("mpi4py") is not None
+        assert ("mpi4py" in available_backends()) == importable
+
+    def test_unknown_backend_lists_choices(self):
+        with pytest.raises(ValueError, match="unknown communicator backend"):
+            create_communicator("nonesuch", 2)
+
+    def test_missing_mpi4py_gets_a_hint(self):
+        if "mpi4py" in available_backends():
+            pytest.skip("mpi4py is importable here")
+        with pytest.raises(ValueError, match="only when mpi4py is importable"):
+            create_communicator("mpi4py", 2)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("virtual", lambda *a, **kw: None)
+
+    def test_decorator_registration(self):
+        try:
+            @register_backend("test-decorated")
+            def factory(nranks, machine, **opts):
+                return ("decorated", nranks)
+
+            assert "test-decorated" in available_backends()
+            assert create_communicator("test-decorated", 3) == ("decorated", 3)
+        finally:
+            _REGISTRY.pop("test-decorated", None)
+
+    def test_resolve_backend_by_name(self):
+        comm = resolve_backend("virtual", 4, machine=IDEAL)
+        assert comm.name == "virtual"
+        assert comm.nranks == 4
+
+    def test_resolve_backend_passes_objects_through(self):
+        comm = create_communicator("virtual", 4, machine=IDEAL)
+        assert resolve_backend(comm, 4) is comm
+
+    def test_resolve_backend_checks_rank_count(self):
+        comm = create_communicator("virtual", 4, machine=IDEAL)
+        with pytest.raises(ValueError, match="spans 4 ranks"):
+            resolve_backend(comm, 8)
+
+    def test_resolve_backend_rejects_non_backend(self):
+        with pytest.raises(TypeError, match="object with .run"):
+            resolve_backend(42, 2)
+
+
+def _ring_program(comm, bonus):
+    """Exchange around a ring: wildcard recv + nonblocking probe loop."""
+    right = (comm.rank + 1) % comm.size
+    left = (comm.rank - 1) % comm.size
+    yield from comm.send(f"r{comm.rank}+{bonus}", dest=right, tag=5)
+    got = yield from comm.recv(source=ANY, tag=5)
+    req = yield from comm.irecv(source=left, tag=6)
+    yield from comm.send(got, dest=right, tag=6)
+    done, relayed = yield from req.test()
+    while not done:
+        yield from comm.compute(1)  # overlap work with the poll
+        done, relayed = yield from req.test()
+    total = yield from comm.allreduce(1, op=operator.add)
+    return (got, relayed, total)
+
+
+class TestVirtualBackend:
+    def test_matches_raw_virtual_machine_bit_for_bit(self):
+        comm = create_communicator("virtual", 5, machine=IDEAL)
+        res = comm.run(_ring_program, per_rank([10 * r for r in range(5)]))
+        raw = VirtualMachine(5, IDEAL).run(
+            _ring_program, per_rank([10 * r for r in range(5)])
+        )
+        assert res.returns == raw.returns
+        assert res.makespan == raw.makespan  # exact: same driver underneath
+        assert res.backend == "virtual"
+        assert res.wall_seconds is not None and res.wall_seconds >= 0.0
+
+
+class TestMultiprocessingBackend:
+    def test_ring_parity_with_virtual(self):
+        p = 4
+        arg = per_rank([10 * r for r in range(p)])
+        vres = create_communicator("virtual", p, machine=IDEAL).run(
+            _ring_program, arg
+        )
+        mres = create_communicator(
+            "multiprocessing", p, machine=IDEAL, timeout=60.0
+        ).run(_ring_program, arg)
+        assert mres.returns == vres.returns
+        # same program, same yields -> identical message accounting
+        assert mres.total_messages == vres.total_messages
+        assert mres.msgs_sent_per_rank == vres.msgs_sent_per_rank
+        assert mres.backend == "multiprocessing"
+        assert mres.wall_seconds is not None and mres.wall_seconds > 0.0
+        assert len(mres.clocks) == p
+        assert mres.makespan == max(mres.clocks)
+
+    def test_deadlock_detection_via_timeout(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield from comm.recv(source=1, tag=9)  # never sent
+
+        comm = create_communicator("multiprocessing", 2, timeout=1.5)
+        with pytest.raises(DeadlockError, match="no matching message"):
+            comm.run(prog)
+
+    def test_rank_exception_propagates(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("boom on purpose")
+            yield from comm.barrier()
+
+        comm = create_communicator("multiprocessing", 2, timeout=10.0)
+        with pytest.raises(RuntimeError, match="rank 1") as exc:
+            comm.run(prog)
+        assert "boom on purpose" in str(exc.value)
+
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError, match="at least one rank"):
+            create_communicator("multiprocessing", 0)
+
+
+class TestRecordBackendRun:
+    @staticmethod
+    def _result(**kw):
+        return RunResult(
+            returns=[None], clocks=kw.pop("clocks"), total_messages=0,
+            total_words=0, words_sent_per_rank=[0], **kw,
+        )
+
+    def test_none_tracer_is_a_no_op(self):
+        res = self._result(clocks=[0.0])
+        record_backend_run(None, "phase", res)  # must not raise
+
+    def test_metrics_for_measured_and_modelled_runs(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        modelled = self._result(clocks=[2.5])
+        measured = self._result(
+            clocks=[0.5], wall_seconds=0.75, backend="multiprocessing",
+        )
+        record_backend_run(tracer, "mark", modelled)
+        record_backend_run(tracer, "mark", measured)
+        samples = [
+            s for s in tracer.metrics.samples()
+            if s.name == "repro.backend.makespan_seconds"
+        ]
+        assert {s.labels_dict["backend"] for s in samples} == {
+            "virtual", "multiprocessing"
+        }
+        walls = [
+            s for s in tracer.metrics.samples()
+            if s.name == "repro.backend.wall_seconds"
+        ]
+        assert len(walls) == 1 and walls[0].value == 0.75
+        assert walls[0].labels_dict["phase"] == "mark"

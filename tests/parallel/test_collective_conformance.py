@@ -1,0 +1,136 @@
+"""Every collective checked against a sequential reference, then the same
+suite re-run on every registered backend.
+
+The reference results are computed host-side in plain Python from the same
+per-rank payloads the rank program is handed, so the test pins *semantics*
+(who gets which payload, and in which combine order), not a particular
+schedule.  Reduction ops use string concatenation — associative but not
+commutative — so any deviation from rank-order combining fails loudly.
+
+The backend parameterization proves the ``virtual`` and ``multiprocessing``
+backends payload-identical: one combined rank program performs every
+collective in sequence and the full per-rank result dicts must compare
+equal to the reference (and hence to each other) on every backend.
+"""
+
+import operator
+import random
+
+import pytest
+
+from repro.parallel import (
+    IDEAL,
+    VirtualMachine,
+    available_backends,
+    create_communicator,
+)
+from repro.parallel.runtime import per_rank
+
+SIZES = [1, 2, 3, 4, 5, 7, 8]
+SEEDS = [0, 1, 2]
+#: Real-process backends fork one process per rank; keep P modest there.
+BACKEND_SIZES = [1, 2, 4]
+
+
+def _payloads(p, rng):
+    """One structured payload per rank; ``s`` carries the ordering probe."""
+    return [
+        {
+            "rank": r,
+            "n": rng.randrange(1000),
+            "blob": [rng.randrange(100) for _ in range(rng.randrange(1, 5))],
+            "s": f"<{r}:{rng.randrange(100)}>",
+        }
+        for r in range(p)
+    ]
+
+
+def _make_case(p, seed):
+    """Inputs (host-side) and the expected per-rank result dicts."""
+    rng = random.Random(97 * seed + p)
+    payloads = _payloads(p, rng)
+    scatter_items = [("piece", r, rng.randrange(1000)) for r in range(p)]
+    a2a = [[f"{src}->{dst}:{rng.randrange(100)}" for dst in range(p)]
+           for src in range(p)]
+    rs = [[f"[{src}|{dst}]" for dst in range(p)] for src in range(p)]
+    roots = {name: rng.randrange(p)
+             for name in ("bcast", "gather", "scatter", "reduce")}
+    colors = [rng.randrange(2) for _ in range(p)]
+
+    s = [payloads[r]["s"] for r in range(p)]
+    prefix = ["".join(s[: r + 1]) for r in range(p)]
+    groups = {}
+    for r in range(p):
+        groups.setdefault(colors[r], []).append(r)
+    expected = [
+        {
+            "bcast": payloads[roots["bcast"]],
+            "gather": payloads if r == roots["gather"] else None,
+            "scatter": scatter_items[r],
+            "reduce": "".join(s) if r == roots["reduce"] else None,
+            "allreduce": "".join(s),
+            "allgather": payloads,
+            "alltoall": [a2a[src][r] for src in range(p)],
+            "scan": prefix[r],
+            "exscan": None if r == 0 else prefix[r - 1],
+            "reduce_scatter": "".join(rs[src][r] for src in range(p)),
+            "barrier": "ok",
+            "split": "".join(s[m] for m in groups[colors[r]]),
+        }
+        for r in range(p)
+    ]
+    args = (
+        per_rank(payloads),
+        per_rank(a2a),
+        per_rank(rs),
+        {"roots": roots, "colors": colors, "scatter_items": scatter_items},
+    )
+    return args, expected
+
+
+def conformance_program(comm, mine, a2a_row, rs_row, shared):
+    """Run every collective once; return the per-rank result dict."""
+    roots = shared["roots"]
+    out = {}
+    out["bcast"] = yield from comm.bcast(
+        mine if comm.rank == roots["bcast"] else None, root=roots["bcast"]
+    )
+    out["gather"] = yield from comm.gather(mine, root=roots["gather"])
+    objs = shared["scatter_items"] if comm.rank == roots["scatter"] else None
+    out["scatter"] = yield from comm.scatter(objs, root=roots["scatter"])
+    out["reduce"] = yield from comm.reduce(
+        mine["s"], op=operator.add, root=roots["reduce"]
+    )
+    out["allreduce"] = yield from comm.allreduce(mine["s"], op=operator.add)
+    out["allgather"] = yield from comm.allgather(mine)
+    out["alltoall"] = yield from comm.alltoall(a2a_row)
+    out["scan"] = yield from comm.scan(mine["s"], op=operator.add)
+    out["exscan"] = yield from comm.exscan(mine["s"], op=operator.add)
+    out["reduce_scatter"] = yield from comm.reduce_scatter(
+        rs_row, op=operator.add
+    )
+    yield from comm.barrier()
+    out["barrier"] = "ok"
+    sub = yield from comm.split(color=shared["colors"][comm.rank])
+    out["split"] = yield from sub.allreduce(mine["s"], op=operator.add)
+    return out
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("p", SIZES)
+def test_collectives_match_sequential_reference(p, seed):
+    args, expected = _make_case(p, seed)
+    res = VirtualMachine(p, IDEAL).run(conformance_program, *args)
+    assert res.returns == expected
+
+
+@pytest.mark.parametrize("p", BACKEND_SIZES)
+@pytest.mark.parametrize("backend", available_backends())
+def test_backends_are_payload_identical(backend, p):
+    if backend == "mpi4py":
+        pytest.skip("the mpi4py backend needs an mpiexec launch")
+    args, expected = _make_case(p, seed=0)
+    comm = create_communicator(backend, p, machine=IDEAL, timeout=60.0)
+    res = comm.run(conformance_program, *args)
+    assert res.returns == expected
+    assert res.backend == backend

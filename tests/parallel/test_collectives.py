@@ -126,6 +126,25 @@ def test_reduce_non_commutative_deterministic():
     assert sorted(r1) == [0, 1, 2, 3, 4, 5]
 
 
+@pytest.mark.parametrize("p", SIZES)
+def test_reduce_non_commutative_rank_order_every_root(p):
+    """The documented combine order is rank order ``x_0 + x_1 + ... + x_{P-1}``
+    for *every* root (regression: the vrank-relabelled tree used to combine
+    in rotated order when root != 0)."""
+    expected = "".join(f"<{r}>" for r in range(p))
+    for root in range(p):
+        def prog(comm):
+            return (yield from comm.reduce(
+                f"<{comm.rank}>", op=operator.add, root=root
+            ))
+
+        res = VirtualMachine(p, IDEAL).run(prog)
+        for r in range(p):
+            assert res.returns[r] == (expected if r == root else None), (
+                f"P={p} root={root} rank={r}"
+            )
+
+
 def test_bcast_cost_scales_logarithmically():
     from repro.parallel import MachineModel
 
