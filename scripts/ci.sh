@@ -40,5 +40,18 @@ grep -q "backend 'multiprocessing' vs 'virtual'" "$tmp/calibrate.txt"
 grep -q "payloads: identical across backends" "$tmp/calibrate.txt"
 echo "multiprocessing smoke: OK"
 
-python scripts/bench_suite.py --quick --baseline BENCH_results.json --no-write
+# weak-scaling smoke: the vectorized scheduler must still beat the eager
+# reference path on the fig6-style cycle (small rank count keeps this a
+# few seconds; the tracked 1k/4k/16k numbers live in the bench gate).
+timeout 300 env PYTHONPATH=src python -m repro scale \
+    --ranks 256 --compare --repeats 1 > "$tmp/scale.txt"
+grep -q "weak scaling of the VM scheduler" "$tmp/scale.txt"
+grep -Eq "^ +256 .*x$" "$tmp/scale.txt"
+echo "weak-scaling smoke: OK"
+
+# wall regressions gate at 1.4x: single-core CI hosts show ±30% wall
+# noise run to run, and the strict check is the virtual-second series,
+# which must match the baseline bit-for-bit regardless of load.
+python scripts/bench_suite.py --quick --baseline BENCH_results.json \
+    --no-write --max-regress 1.4
 echo "ci: OK"

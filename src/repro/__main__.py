@@ -26,6 +26,13 @@ diff A.jsonl B.jsonl
     Compare two traces' critical-path compositions — e.g. a greedy run
     against an MWBG run — and report which phase segments account for
     the makespan delta.
+scale [--ranks P ...]
+    Weak-scaling sweep of the virtual-machine scheduler itself: run the
+    fig6-style execution phase (compute, halo exchange, convergence
+    allreduce) at 1k/4k/16k virtual ranks and print host wall seconds
+    and scheduler ops/second per point.  ``--compare`` also times the
+    ``REPRO_REFERENCE_KERNELS`` scheduler path on each point and prints
+    the optimized-over-reference speedup.
 case [RESOLUTION]
     Print the synthetic rotor case's mesh sizes and growth factors.
 version
@@ -139,6 +146,30 @@ def _build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument(
         "--top", type=int, default=15,
         help="number of (phase, kind) rows to list",
+    )
+
+    p_scale = sub.add_parser(
+        "scale",
+        help="weak-scaling sweep of the VM scheduler (1k-16k virtual ranks)",
+    )
+    p_scale.add_argument(
+        "--ranks", type=int, action="append", default=None, metavar="P",
+        help="virtual rank count to measure (repeatable; "
+             "default: 1024 4096 16384)",
+    )
+    p_scale.add_argument("--rounds", type=int, default=3,
+                         help="propagation rounds per cycle")
+    p_scale.add_argument("--halo-words", type=int, default=64,
+                         help="words per halo message")
+    p_scale.add_argument("--work-units", type=float, default=200.0,
+                         help="mean compute units per rank per round")
+    p_scale.add_argument(
+        "--compare", action="store_true",
+        help="also time the reference scheduler path and print the speedup",
+    )
+    p_scale.add_argument(
+        "--repeats", type=int, default=1,
+        help="shots per path with --compare (best wall is reported)",
     )
 
     p_case = sub.add_parser("case", help="print case sizes and growth factors")
@@ -308,6 +339,43 @@ def _cmd_diff(args) -> int:
     return 0
 
 
+def _cmd_scale(args) -> int:
+    from repro.experiments.weak_scaling import (
+        DEFAULT_RANKS,
+        measure_point,
+        measure_speedup,
+    )
+    from repro.obs import Tracer
+    from repro.obs.tracer import use_tracer
+
+    ranks = args.ranks or list(DEFAULT_RANKS)
+    kwargs = dict(rounds=args.rounds, halo_words=args.halo_words,
+                  work_units=args.work_units)
+    print("weak scaling of the VM scheduler "
+          f"(fig6-style execution phase; {args.rounds} rounds, "
+          f"{args.halo_words}-word halos):")
+    hdr = (f"  {'P':>6s} {'wall s':>9s} {'ops':>10s} {'ops/s':>11s} "
+           f"{'makespan':>10s}")
+    if args.compare:
+        hdr += f" {'ref s':>9s} {'speedup':>8s}"
+    print(hdr)
+    for p in ranks:
+        if args.compare:
+            opt, ref, speedup = measure_speedup(
+                p, repeats=args.repeats, **kwargs
+            )
+            extra = f" {ref.wall_seconds:9.3f} {speedup:7.2f}x"
+        else:
+            # same full-pipeline configuration measure_speedup uses:
+            # one fresh ambient tracer per shot
+            with use_tracer(Tracer()):
+                opt = measure_point(p, trace=True, **kwargs)
+            extra = ""
+        print(f"  {p:6d} {opt.wall_seconds:9.3f} {opt.ops:10d} "
+              f"{opt.ops_per_second:11.0f} {opt.makespan:10.4f}{extra}")
+    return 0
+
+
 def _cmd_case(args) -> int:
     from repro.experiments import CASE_NAMES, make_case
     from repro.experiments.sweep import growth_factor
@@ -343,6 +411,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_critical_path(args)
     if args.command == "diff":
         return _cmd_diff(args)
+    if args.command == "scale":
+        return _cmd_scale(args)
     if args.command == "case":
         return _cmd_case(args)
     parser.error(f"unknown command {args.command!r}")

@@ -102,6 +102,51 @@ def _bench_ext_vm_vs_ledger(resolution: int) -> dict:
     }
 
 
+def _bench_ext_weak_scaling(resolution: int) -> dict:
+    """Weak-scaling sweep of the VM scheduler itself (fig6-style cycle).
+
+    Runs :func:`repro.experiments.weak_scaling.measure_speedup` —
+    scheduler scale, not mesh scale, so ``resolution`` only selects the
+    rank sweep.  Each speedup point times the optimized and the
+    ``REPRO_REFERENCE_KERNELS`` scheduler on the *same* traced cycle
+    (fresh ambient tracer per shot, best of N shots per path), so the
+    recorded ``speedup_p*`` extras are the tracked perf gate for the
+    vectorized scheduler.  The quick profile keeps the reference shots
+    to the 1024-rank point and times 4096 optimized-only — the slow
+    reference shots dominate the bench's wall and would make the CI wall
+    gate flaky on a loaded host; the full profile runs both schedulers
+    at 1k/4k/16k (the 16k point is where the reference path's per-op
+    object churn hurts it most).
+    """
+    from repro.experiments.weak_scaling import measure_point, measure_speedup
+
+    extra: dict = {}
+    if resolution < 6:
+        speedup_ranks, opt_only_ranks, repeats = (1024,), (4096,), 2
+    else:
+        speedup_ranks, opt_only_ranks, repeats = (1024, 4096, 16384), (), 3
+    for nranks in speedup_ranks:
+        opt, ref, speedup = measure_speedup(nranks, repeats=repeats)
+        extra[f"wall_seconds_p{nranks}"] = round(opt.wall_seconds, 4)
+        extra[f"ref_wall_seconds_p{nranks}"] = round(ref.wall_seconds, 4)
+        extra[f"speedup_p{nranks}"] = round(speedup, 2)
+        extra[f"ops_per_second_p{nranks}"] = round(opt.ops_per_second)
+        extra[f"scheduler_ops_p{nranks}"] = int(opt.ops)
+    for nranks in opt_only_ranks:
+        from repro.obs import Tracer, use_tracer
+
+        best = None
+        for _ in range(repeats):
+            with use_tracer(Tracer()):
+                pt = measure_point(nranks)
+            if best is None or pt.wall_seconds < best.wall_seconds:
+                best = pt
+        extra[f"wall_seconds_p{nranks}"] = round(best.wall_seconds, 4)
+        extra[f"ops_per_second_p{nranks}"] = round(best.ops_per_second)
+        extra[f"scheduler_ops_p{nranks}"] = int(best.ops)
+    return extra
+
+
 def _bench_ext_partitioners(resolution: int) -> dict:
     from repro.core.dualgraph import DualGraph
     from repro.experiments.sweep import case_for
@@ -129,6 +174,11 @@ BENCHES: dict[str, Bench] = {
             _bench_ext_vm_vs_ledger,
         ),
         Bench(
+            "ext_weak_scaling",
+            "Extension — weak-scaling wall/speedup of the VM scheduler",
+            _bench_ext_weak_scaling,
+        ),
+        Bench(
             "ext_partitioners",
             "Extension — multilevel k-way partition of the dual graph",
             _bench_ext_partitioners,
@@ -136,5 +186,6 @@ BENCHES: dict[str, Bench] = {
     )
 }
 
-#: The CI subset: one sweep-driven bench, one adaptor bench, one VM bench.
-QUICK_BENCHES = ("fig6", "table1", "ext_vm_vs_ledger")
+#: The CI subset: one sweep-driven bench, one adaptor bench, one VM bench,
+#: and the scheduler weak-scaling perf gate.
+QUICK_BENCHES = ("fig6", "table1", "ext_vm_vs_ledger", "ext_weak_scaling")

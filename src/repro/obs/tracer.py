@@ -79,21 +79,83 @@ class Tracer:
 
     def __init__(self, wall_clock=time.perf_counter):
         self.spans: list[Span] = []
-        self.events: list[PointEvent] = []
+        self._events: list[PointEvent] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.metrics = MetricsRegistry()
-        #: Causal record of every traced VM run (see :mod:`repro.obs.causal`):
-        #: happens-before DAG nodes and the messages linking them, grouped by
-        #: the run id carried in ``vm.run`` marker events.
-        self.causal_nodes: list = []
-        self.causal_msgs: list = []
+        self._causal_nodes: list = []
+        self._causal_msgs: list = []
+        #: Columnar VM-run records registered via :meth:`add_vm_chunk`,
+        #: not yet expanded into the three lists above: ``(record,
+        #: event position, virtual-time base, enclosing span index)``.
+        self._vm_chunks: list = []
         self.cycle: int | None = None  #: current adaptation cycle id
         self._next_cycle = 0
         self._next_run = 0
         self._stack: list[Span] = []
         self._vclock = 0.0
         self._wall = wall_clock
+
+    # --- lazily mirrored VM records -----------------------------------------
+
+    @property
+    def events(self) -> list[PointEvent]:
+        """All point events, in record order (flushes pending VM chunks)."""
+        self._flush_vm()
+        return self._events
+
+    @property
+    def causal_nodes(self) -> list:
+        """Causal record of every traced VM run (see :mod:`repro.obs.causal`):
+        happens-before DAG nodes, grouped by the run id carried in
+        ``vm.run`` marker events."""
+        self._flush_vm()
+        return self._causal_nodes
+
+    @property
+    def causal_msgs(self) -> list:
+        """The messages linking :attr:`causal_nodes` across ranks."""
+        self._flush_vm()
+        return self._causal_msgs
+
+    def add_vm_chunk(self, record, base: float) -> None:
+        """Register a VM run's columnar record (``runtime._VMRecord``) for
+        lazy mirroring: its ``vm.<kind>`` point events and causal
+        nodes/msgs materialize only when :attr:`events` /
+        :attr:`causal_nodes` / :attr:`causal_msgs` is next read, spliced
+        in at the position this call reserved (right after the run's
+        ``vm.run`` marker), so flushed order equals eager order."""
+        self._vm_chunks.append((
+            record,
+            len(self._events),
+            base,
+            self._stack[-1].index if self._stack else None,
+        ))
+
+    def _flush_vm(self) -> None:
+        if not self._vm_chunks:
+            return
+        chunks = self._vm_chunks
+        self._vm_chunks = []
+        evs = self._events
+        out: list[PointEvent] = []
+        prev = 0
+        for record, pos, base, span in chunks:
+            out.extend(evs[prev:pos])
+            prev = pos
+            ap = out.append
+            for ev in record.trace_events():
+                ap(PointEvent(
+                    name="vm." + ev.kind,
+                    v_time=base + ev.time,
+                    rank=ev.rank,
+                    span=span,
+                    attrs={"detail": list(ev.detail)},
+                ))
+            self._causal_nodes.extend(record.causal_nodes())
+            self._causal_msgs.extend(record.causal_msgs())
+        out.extend(evs[prev:])
+        evs[:] = out  # in place: callers may hold the list
 
     # --- clocks ------------------------------------------------------------
 
@@ -150,7 +212,7 @@ class Tracer:
             span=self._stack[-1].index if self._stack else None,
             attrs=dict(attrs),
         )
-        self.events.append(ev)
+        self._events.append(ev)
         return ev
 
     def count(self, name: str, value: float = 1) -> None:
@@ -208,6 +270,26 @@ class Tracer:
             cycle=self.cycle if cycle is None else cycle,
             rank=rank,
             v_time=self._vclock,
+        )
+
+    def metric_per_rank(
+        self,
+        name: str,
+        values,
+        kind: str = "counter",
+        cycle: int | None = None,
+        skip_zero: bool = False,
+    ) -> None:
+        """Record one unlabelled sample per rank (rank = list index) in a
+        single registry call — the bulk form of :meth:`metric` the VM and
+        cost ledger use for their per-rank traffic series."""
+        self.metrics.record_per_rank(
+            name,
+            values,
+            kind=kind,
+            cycle=self.cycle if cycle is None else cycle,
+            v_time=self._vclock,
+            skip_zero=skip_zero,
         )
 
     # --- queries ------------------------------------------------------------

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import time
-from dataclasses import replace
 
 from ..machine import SP2_1997, MachineModel
 from ..runtime import RunResult, VirtualMachine
@@ -36,5 +35,6 @@ class VirtualBackend:
     def run(self, program, *args, **kwargs) -> RunResult:
         t0 = time.perf_counter()
         res = self._vm.run(program, *args, **kwargs)
-        return replace(res, wall_seconds=time.perf_counter() - t0,
-                       backend=self.name)
+        res.wall_seconds = time.perf_counter() - t0
+        res.backend = self.name
+        return res

@@ -131,20 +131,18 @@ class CostLedger:
         self._step_msgs += int((off > 0).sum())
         self._count_traffic(int((off > 0).sum()), int(off.sum()))
         if self.tracer is not None:
-            m = self.tracer.metric
-            words_out = off.sum(axis=1)
-            words_in = off.sum(axis=0)
-            for r in range(self.nranks):
-                if nmsg_out[r]:
-                    m("repro.ledger.messages_sent", int(nmsg_out[r]),
-                      kind="counter", rank=r)
-                    m("repro.ledger.words_sent", int(words_out[r]),
-                      kind="counter", rank=r)
-                if nmsg_in[r]:
-                    m("repro.ledger.messages_recv", int(nmsg_in[r]),
-                      kind="counter", rank=r)
-                    m("repro.ledger.words_recv", int(words_in[r]),
-                      kind="counter", rank=r)
+            # bulk per-rank emission; skip_zero preserves the old
+            # only-nonzero-rank sampling (words follow messages: a rank
+            # with nmsg_out > 0 has words_out >= nmsg_out > 0)
+            mpr = self.tracer.metric_per_rank
+            mpr("repro.ledger.messages_sent", nmsg_out.tolist(),
+                kind="counter", skip_zero=True)
+            mpr("repro.ledger.words_sent", off.sum(axis=1).tolist(),
+                kind="counter", skip_zero=True)
+            mpr("repro.ledger.messages_recv", nmsg_in.tolist(),
+                kind="counter", skip_zero=True)
+            mpr("repro.ledger.words_recv", off.sum(axis=0).tolist(),
+                kind="counter", skip_zero=True)
 
     def barrier(self) -> None:
         """Synchronise all ranks: max clock plus log2(P) startup rounds."""
@@ -169,8 +167,8 @@ class CostLedger:
                 step=self._sstep,
                 start=self._step_t0,
                 duration=busy + sync,
-                work=[float(w) for w in self._work],
-                comm=[float(c) for c in self._comm],
+                work=self._work.tolist(),
+                comm=self._comm.tolist(),
                 sync=sync,
                 messages=self._step_msgs,
                 cycle=self.tracer.cycle,

@@ -22,7 +22,10 @@ processors for a ~60k element mesh) come out in the right ballpark; the
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
+
+import numpy as np
 
 __all__ = ["MachineModel", "SP2_1997", "IDEAL", "word_count"]
 
@@ -80,16 +83,14 @@ def word_count(obj) -> int:
     objects are measured via their pickle length, which is deterministic for
     the dataclass/tuple/dict payloads used inside this library.
     """
-    import pickle
-
-    import numpy as np
-
     if obj is None:
         return 0
-    if isinstance(obj, np.ndarray):
-        return max(1, obj.nbytes // 8)
+    # scalars first: collective hops size their accumulator on every hop,
+    # so this is the hottest case by far
     if isinstance(obj, (int, float, bool)):
         return 1
+    if isinstance(obj, np.ndarray):
+        return max(1, obj.nbytes // 8)
     if isinstance(obj, (tuple, list)) and all(
         isinstance(x, (int, float, bool)) for x in obj
     ):

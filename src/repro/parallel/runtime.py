@@ -12,14 +12,26 @@ message has arrived (arrival time = sender's clock when the send completed)
 and charges the receiver a posting overhead.  Messages between a fixed
 (source, dest, tag) triple are delivered in FIFO order, and scheduling
 ties are broken by rank id, so runs are fully deterministic.
+
+Two scheduler implementations produce bit-identical results (see
+DESIGN.md §13): the optimized path dispatches ops through a type-keyed
+table, batches same-timestamp ready ranks without re-heapifying per op,
+and records the happens-before record into flat columns
+(:class:`_VMRecord`), materializing :class:`~repro.obs.causal.CausalNode`
+/ :class:`TraceEvent` objects lazily; the reference path
+(``REPRO_REFERENCE_KERNELS=1``) steps one op per heap pop through an
+``isinstance`` chain and allocates every record object eagerly.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator
+
+import numpy as np
 
 from repro.kernels import reference_enabled
 
@@ -57,39 +69,72 @@ class DeadlockError(RuntimeError):
 # --- operation descriptors yielded by rank programs ------------------------
 
 
-@dataclass(frozen=True)
+# The op descriptors are plain __slots__ classes rather than dataclasses:
+# the scheduler creates one per simulated operation, and a hand-written
+# __init__ constructs ~4x faster than a frozen dataclass's (no per-field
+# object.__setattr__).  They are value carriers only — nothing hashes or
+# compares them — so losing generated __eq__/__hash__ costs nothing.
+
+
 class SendOp:
-    dest: int
-    tag: int
-    payload: Any
-    nwords: int
+    __slots__ = ("dest", "tag", "payload", "nwords")
+
+    def __init__(self, dest: int, tag: int, payload: Any, nwords: int):
+        self.dest = dest
+        self.tag = tag
+        self.payload = payload
+        self.nwords = nwords
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return (f"SendOp(dest={self.dest}, tag={self.tag}, "
+                f"payload={self.payload!r}, nwords={self.nwords})")
 
 
-@dataclass(frozen=True)
 class RecvOp:
-    source: int
-    tag: int
+    __slots__ = ("source", "tag")
+
+    def __init__(self, source: int, tag: int):
+        self.source = source
+        self.tag = tag
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"RecvOp(source={self.source}, tag={self.tag})"
 
 
-@dataclass(frozen=True)
 class ProbeOp:
     """Non-blocking probe: resolve immediately with (matched, message)."""
 
-    source: int
-    tag: int
+    __slots__ = ("source", "tag")
+
+    def __init__(self, source: int, tag: int):
+        self.source = source
+        self.tag = tag
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"ProbeOp(source={self.source}, tag={self.tag})"
 
 
-@dataclass(frozen=True)
 class WorkOp:
-    units: float
+    __slots__ = ("units",)
+
+    def __init__(self, units: float):
+        self.units = units
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"WorkOp(units={self.units})"
 
 
-@dataclass(frozen=True)
 class ElapseOp:
-    seconds: float
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float):
+        self.seconds = seconds
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return f"ElapseOp(seconds={self.seconds})"
 
 
-@dataclass
+@dataclass(slots=True)
 class _Message:
     source: int
     tag: int
@@ -120,7 +165,11 @@ class _IndexedMailbox:
         return self._count
 
     def add(self, msg: _Message) -> None:
-        self._by_key.setdefault((msg.source, msg.tag), deque()).append(msg)
+        key = (msg.source, msg.tag)
+        bucket = self._by_key.get(key)
+        if bucket is None:  # .get over .setdefault: no deque built per add
+            self._by_key[key] = bucket = deque()
+        bucket.append(msg)
         self._count += 1
 
     def _matching_keys(self, source: int, tag: int):
@@ -140,10 +189,30 @@ class _IndexedMailbox:
         self, source: int, tag: int, max_arrival: float | None = None
     ) -> _Message | None:
         """Remove and return the oldest (min-seq) matching message."""
+        if source != ANY and tag != ANY:
+            # exact match: one dict probe, its bucket head is the answer
+            # (bucket FIFO == seq order; head arrival bounds the bucket)
+            key = (source, tag)
+            bucket = self._by_key.get(key)
+            if bucket is None:
+                return None
+            if max_arrival is not None and bucket[0].arrival > max_arrival:
+                return None
+            msg = bucket.popleft()
+            if not bucket:
+                del self._by_key[key]
+            self._count -= 1
+            return msg
+        # wildcard: one pass over the bucket map, filtering keys in place
+        # (no key-list materialization, no second dict lookup per key)
         best_key = None
         best_seq = 0
-        for key in self._matching_keys(source, tag):
-            head = self._by_key[key][0]
+        for key, bucket in self._by_key.items():
+            if source != ANY and key[0] != source:
+                continue
+            if tag != ANY and key[1] != tag:
+                continue
+            head = bucket[0]
             if max_arrival is not None and head.arrival > max_arrival:
                 continue
             if best_key is None or head.seq < best_seq:
@@ -185,16 +254,20 @@ class _ListMailbox:
     def pop_match(
         self, source: int, tag: int, max_arrival: float | None = None
     ) -> _Message | None:
+        # removal is by index, never by equality: ``list.remove`` would
+        # invoke the dataclass ``__eq__``, which both raises on ndarray
+        # payloads and can remove a different-but-equal message
         best = None
-        for m in self._msgs:
+        best_i = -1
+        for i, m in enumerate(self._msgs):
             if (source not in (ANY, m.source)) or (tag not in (ANY, m.tag)):
                 continue
             if max_arrival is not None and m.arrival > max_arrival:
                 continue
             if best is None or m.seq < best.seq:
-                best = m
+                best, best_i = m, i
         if best is not None:
-            self._msgs.remove(best)
+            del self._msgs[best_i]
         return best
 
     def messages(self):
@@ -203,6 +276,9 @@ class _ListMailbox:
 
 @dataclass
 class _Rank:
+    """Reference-path per-rank state (the optimized path keeps the same
+    quantities in parallel per-rank arrays instead)."""
+
     rank: int
     gen: Iterator
     clock: float = 0.0
@@ -210,9 +286,7 @@ class _Rank:
     done: bool = False
     retval: Any = None
     send_value: Any = None  # value to inject at the next generator step
-    mailbox: _IndexedMailbox | _ListMailbox = field(
-        default_factory=_IndexedMailbox
-    )
+    mailbox: _IndexedMailbox | _ListMailbox | None = None
     words_sent: int = 0
     msgs_sent: int = 0
     words_recv: int = 0
@@ -222,40 +296,223 @@ class _Rank:
     waited: float = 0.0  # virtual seconds blocked waiting for arrivals
 
 
+class _BlockedView:
+    """Duck-typed stand-in for :class:`_Rank` in deadlock reporting, built
+    from the optimized path's per-rank arrays."""
+
+    __slots__ = ("rank", "blocked_on", "mailbox")
+
+    def __init__(self, rank, blocked_on, mailbox):
+        self.rank = rank
+        self.blocked_on = blocked_on
+        self.mailbox = mailbox
+
+
 @dataclass(frozen=True)
 class TraceEvent:
     """One scheduler event, recorded when tracing is enabled."""
 
     time: float
     rank: int
-    kind: str  # "send" | "recv" | "work" | "probe"
+    kind: str  # "send" | "recv" | "work" | "probe" | "elapse"
     detail: tuple
 
 
-@dataclass(frozen=True)
-class RunResult:
-    """Outcome of a :meth:`VirtualMachine.run` call."""
+# --- columnar recording ------------------------------------------------------
 
-    returns: list
-    clocks: list[float]
-    total_messages: int
-    total_words: int
-    words_sent_per_rank: list[int]
-    trace: list[TraceEvent] | None = None
-    words_recv_per_rank: list[int] = field(default_factory=list)
-    msgs_sent_per_rank: list[int] = field(default_factory=list)
-    msgs_recv_per_rank: list[int] = field(default_factory=list)
-    busy_per_rank: list[float] = field(default_factory=list)
-    idle_per_rank: list[float] = field(default_factory=list)
-    #: Happens-before record (see :mod:`repro.obs.causal`); populated
-    #: whenever the run was traced, None otherwise.
-    nodes: list | None = None
-    msgs: list | None = None
-    #: Host wall-clock seconds the run took end to end (set by the
-    #: communicator backends; None when the run was driven directly).
-    wall_seconds: float | None = None
-    #: Name of the communicator backend that produced this result.
-    backend: str = "virtual"
+#: Type-keyed dispatch table; the value doubles as the columnar kind code
+#: (the index into :data:`_CODE_KINDS`).
+_OPCODES: dict[type, int] = {
+    WorkOp: 0, ElapseOp: 1, SendOp: 2, RecvOp: 3, ProbeOp: 4,
+}
+_CODE_KINDS = ("work", "elapse", "send", "recv", "probe")
+_WORK, _ELAPSE, _SEND, _RECV, _PROBE = range(5)
+
+# The dispatch key also lives on the classes themselves: in the hot loop a
+# slot-class attribute load beats a dict probe, and subclasses inherit it,
+# skipping the isinstance slow path entirely.
+WorkOp._code = _WORK
+ElapseOp._code = _ELAPSE
+SendOp._code = _SEND
+RecvOp._code = _RECV
+ProbeOp._code = _PROBE
+
+
+class _VMRecord:
+    """Columnar happens-before record of one VM run.
+
+    The optimized scheduler appends every operation into flat typed
+    columns instead of allocating a ``CausalNode`` + ``TraceEvent`` pair
+    per op; the object views are materialized lazily (and memoized) only
+    when :mod:`repro.obs.causal`, the exporters, or ``RunResult.nodes`` /
+    ``.msgs`` / ``.trace`` ask for them.
+
+    Layout (one row per node / message, flat Python lists — a single
+    ``list.extend`` per row is ~6x cheaper than a typed ``array`` extend,
+    and the end-of-run accounting converts each column to numpy once):
+
+    * ``nd`` (stride 6) — kind code, rank, msg id (``-1`` none),
+      ``t_start``, ``t_end``, ``wait``
+    * ``ms_i`` (stride 6) — src, dst, tag, nwords, send node,
+      recv node (``-1`` unconsumed)
+    * ``aux`` — sparse ``{node id: op detail}`` for work units, elapse
+      seconds, and probe ``(source, tag)`` arguments, preserving the
+      exact objects the rank program yielded
+    """
+
+    __slots__ = ("nd", "ms_i", "aux", "run", "_nodes", "_msgs", "_events")
+
+    def __init__(self):
+        self.nd: list = []
+        self.ms_i: list = []
+        self.aux: dict[int, Any] = {}
+        self.run = -1  # assigned at end of run, like eager CausalNodes
+        self._nodes = None
+        self._msgs = None
+        self._events = None
+
+    @property
+    def nnodes(self) -> int:
+        return len(self.nd) // 6
+
+    @property
+    def nmsgs(self) -> int:
+        return len(self.ms_i) // 6
+
+    def causal_nodes(self) -> list:
+        """Materialize (and memoize) the ``CausalNode`` view."""
+        if self._nodes is None:
+            from repro.obs.causal import CausalNode
+
+            nd, run = self.nd, self.run
+            kinds = _CODE_KINDS
+            out = []
+            ap = out.append
+            for i in range(len(nd) // 6):
+                j = 6 * i
+                mid = int(nd[j + 2])
+                ap(CausalNode(run, i, int(nd[j + 1]), kinds[int(nd[j])],
+                              nd[j + 3], nd[j + 4], nd[j + 5],
+                              None if mid < 0 else mid))
+            self._nodes = out
+        return self._nodes
+
+    def causal_msgs(self) -> list:
+        """Materialize (and memoize) the ``CausalMsg`` view."""
+        if self._msgs is None:
+            from repro.obs.causal import CausalMsg
+
+            ms_i, run = self.ms_i, self.run
+            out = []
+            ap = out.append
+            for i in range(len(ms_i) // 6):
+                j = 6 * i
+                rn = ms_i[j + 5]
+                ap(CausalMsg(run, i, ms_i[j], ms_i[j + 1], ms_i[j + 2],
+                             ms_i[j + 3], ms_i[j + 4],
+                             None if rn < 0 else rn))
+            self._msgs = out
+        return self._msgs
+
+    def trace_events(self) -> list[TraceEvent]:
+        """Materialize (and memoize) the ``TraceEvent`` view."""
+        if self._events is None:
+            nd, ms_i, aux = self.nd, self.ms_i, self.aux
+            out = []
+            ap = out.append
+            for i in range(len(nd) // 6):
+                j = 6 * i
+                code = int(nd[j])
+                mid = int(nd[j + 2])
+                if code == _SEND:
+                    k = 6 * mid
+                    kind = "send"
+                    detail = (ms_i[k + 1], ms_i[k + 2], ms_i[k + 3])
+                elif code == _RECV:
+                    k = 6 * mid
+                    kind = "recv"
+                    detail = (ms_i[k], ms_i[k + 2], ms_i[k + 3])
+                elif code == _PROBE:
+                    kind = "probe"
+                    detail = (*aux[i], mid >= 0)
+                else:
+                    kind = "work" if code == _WORK else "elapse"
+                    detail = (aux[i],)
+                ap(TraceEvent(nd[j + 4], int(nd[j + 1]), kind, detail))
+            self._events = out
+        return self._events
+
+
+class RunResult:
+    """Outcome of a :meth:`VirtualMachine.run` call.
+
+    ``trace``, ``nodes``, and ``msgs`` are materialized lazily from the
+    optimized scheduler's columnar record on first access; results built
+    directly (reference path, real-execution backends) store the object
+    lists eagerly.  Field meanings are unchanged from the original
+    dataclass form.
+    """
+
+    __slots__ = (
+        "returns", "clocks", "total_messages", "total_words",
+        "words_sent_per_rank", "words_recv_per_rank", "msgs_sent_per_rank",
+        "msgs_recv_per_rank", "busy_per_rank", "idle_per_rank",
+        "wall_seconds", "backend",
+        "_trace", "_nodes", "_msgs", "_record", "_want_trace",
+    )
+
+    def __init__(self, returns, clocks, total_messages, total_words,
+                 words_sent_per_rank, trace=None, words_recv_per_rank=None,
+                 msgs_sent_per_rank=None, msgs_recv_per_rank=None,
+                 busy_per_rank=None, idle_per_rank=None, nodes=None,
+                 msgs=None, wall_seconds=None, backend="virtual",
+                 record=None, want_trace=False):
+        self.returns = returns
+        self.clocks = clocks
+        self.total_messages = total_messages
+        self.total_words = total_words
+        self.words_sent_per_rank = words_sent_per_rank
+        self.words_recv_per_rank = (
+            [] if words_recv_per_rank is None else words_recv_per_rank
+        )
+        self.msgs_sent_per_rank = (
+            [] if msgs_sent_per_rank is None else msgs_sent_per_rank
+        )
+        self.msgs_recv_per_rank = (
+            [] if msgs_recv_per_rank is None else msgs_recv_per_rank
+        )
+        self.busy_per_rank = [] if busy_per_rank is None else busy_per_rank
+        self.idle_per_rank = [] if idle_per_rank is None else idle_per_rank
+        #: Host wall-clock seconds the run took end to end (set by the
+        #: communicator backends; None when the run was driven directly).
+        self.wall_seconds = wall_seconds
+        #: Name of the communicator backend that produced this result.
+        self.backend = backend
+        self._trace = trace
+        self._nodes = nodes
+        self._msgs = msgs
+        self._record = record
+        self._want_trace = want_trace
+
+    @property
+    def trace(self) -> list[TraceEvent] | None:
+        if self._trace is None and self._want_trace and self._record is not None:
+            self._trace = self._record.trace_events()
+        return self._trace
+
+    @property
+    def nodes(self) -> list | None:
+        """Happens-before nodes (see :mod:`repro.obs.causal`); populated
+        whenever the run was traced, None otherwise."""
+        if self._nodes is None and self._record is not None:
+            self._nodes = self._record.causal_nodes()
+        return self._nodes
+
+    @property
+    def msgs(self) -> list | None:
+        if self._msgs is None and self._record is not None:
+            self._msgs = self._record.causal_msgs()
+        return self._msgs
 
     @property
     def makespan(self) -> float:
@@ -264,24 +521,31 @@ class RunResult:
         wall seconds on the real-execution backends."""
         return max(self.clocks) if self.clocks else 0.0
 
+    def __repr__(self):  # pragma: no cover - debug aid
+        return (f"RunResult(nranks={len(self.clocks)}, "
+                f"makespan={self.makespan!r}, "
+                f"total_messages={self.total_messages}, "
+                f"total_words={self.total_words}, backend={self.backend!r})")
+
 
 class VirtualMachine:
     """A virtual message-passing machine with ``nranks`` processors.
 
     With ``trace=True`` the scheduler records every send, receive, probe,
-    and work event with its virtual timestamp (useful for debugging rank
-    programs and visualising communication schedules).  With ``tracer``
-    set to a :class:`repro.obs.Tracer`, the same events are mirrored into
-    it as point events named ``vm.<kind>`` (offset by the tracer's virtual
-    clock at the start of the run) and the run's message/word totals are
-    added to the ``vm.messages`` / ``vm.words`` counters.  Per-rank traffic
-    is additionally recorded as labelled metrics: ``repro.vm.messages_sent``
-    / ``messages_recv`` count payload-bearing messages only (zero-word
-    synchronisation messages go to ``repro.vm.sync_messages`` so word and
-    message totals stay comparable with the cost ledger),
-    ``repro.vm.words_sent`` / ``words_recv`` count 8-byte words, and
-    ``repro.vm.busy_seconds`` / ``idle_seconds`` split each rank's share of
-    the makespan into working and blocked-waiting virtual time.
+    work, and elapse event with its virtual timestamp (useful for
+    debugging rank programs and visualising communication schedules).
+    With ``tracer`` set to a :class:`repro.obs.Tracer`, the same events
+    are mirrored into it as point events named ``vm.<kind>`` (offset by
+    the tracer's virtual clock at the start of the run) and the run's
+    message/word totals are added to the ``vm.messages`` / ``vm.words``
+    counters.  Per-rank traffic is additionally recorded as labelled
+    metrics: ``repro.vm.messages_sent`` / ``messages_recv`` count
+    payload-bearing messages only (zero-word synchronisation messages go
+    to ``repro.vm.sync_messages`` so word and message totals stay
+    comparable with the cost ledger), ``repro.vm.words_sent`` /
+    ``words_recv`` count 8-byte words, and ``repro.vm.busy_seconds`` /
+    ``idle_seconds`` split each rank's share of the makespan into working
+    and blocked-waiting virtual time.
     """
 
     def __init__(self, nranks: int, machine: MachineModel = SP2_1997,
@@ -302,10 +566,16 @@ class VirtualMachine:
         """
         from .simcomm import Comm
 
-        mailbox_cls = _ListMailbox if reference_enabled() else _IndexedMailbox
-        ranks: list[_Rank] = []
-        for r in range(self.nranks):
-            comm = Comm(r, self.nranks, self.machine)
+        nranks = self.nranks
+        for v in (*args, *kwargs.values()):
+            if isinstance(v, per_rank) and len(v.values) != nranks:
+                raise ValueError(
+                    f"per_rank argument carries {len(v.values)} values "
+                    f"but the machine has {nranks} ranks"
+                )
+        gens = []
+        for r in range(nranks):
+            comm = Comm(r, nranks, self.machine)
             a = [x.values[r] if isinstance(x, per_rank) else x for x in args]
             kw = {
                 k: (v.values[r] if isinstance(v, per_rank) else v)
@@ -317,8 +587,424 @@ class VirtualMachine:
                     "rank program must be a generator function "
                     f"(got {type(gen).__name__} from {program!r})"
                 )
-            ranks.append(_Rank(r, gen, mailbox=mailbox_cls()))
+            gens.append(gen)
+        if reference_enabled():
+            return self._run_reference(gens)
+        return self._run_fast(gens)
 
+    # --- optimized scheduler ------------------------------------------------
+
+    def _run_fast(self, gens: list) -> RunResult:
+        """Batched, table-dispatched scheduler over per-rank arrays.
+
+        Invariants shared with the reference path (and why the results
+        are bit-identical):
+
+        * every live, runnable rank has exactly one ``(clock, rank)``
+          entry in the ready heap, so after executing an op the current
+          rank may keep running while ``(clock[r], r) <= ready[0]`` —
+          the exact tuple order a push-then-pop would have produced
+          (delivering a message never makes the receiver's clock earlier
+          than the sender's, so the batch never overtakes a rank it
+          just unblocked);
+        * all clock arithmetic is the same float expressions, in the
+          same order, as the reference scheduler;
+        * node id == append order, msg id == ``seq - 1``, and a consumed
+          message's ``recv_node`` is the id of the recv/probe node that
+          popped it — identical to the eager record.
+        """
+        machine = self.machine
+        nranks = self.nranks
+        t_setup = machine.t_setup
+        t_word = machine.t_word
+        t_work = machine.t_work
+
+        rec = _VMRecord() if (self.trace or self.tracer is not None) else None
+        if rec is not None:
+            nd_ext = rec.nd.extend
+            msi_ext = rec.ms_i.extend
+            ms_i = rec.ms_i
+            aux = rec.aux
+            # accounting side-channel, so the end-of-run totals never
+            # have to convert the full node table to float64 inside the
+            # run: flat (rank, wait) pairs for the nonzero recv waits, in
+            # node order (zero waits add exactly +0.0 to a non-negative
+            # sum, so skipping them is bit-identical); the integer recv
+            # counters need no channel at all — a message's consumer is
+            # always its ``dst`` rank, already in ``ms_i``
+            wt: list = []
+            wt_ext = wt.extend
+        n_nodes = 0
+        n_msgs = 0
+
+        clocks = [0.0] * nranks
+        waited = [0.0] * nranks
+        words_sent = [0] * nranks
+        msgs_sent = [0] * nranks
+        words_recv = [0] * nranks
+        msgs_recv = [0] * nranks
+        data_sent = [0] * nranks
+        data_recv = [0] * nranks
+        retvals: list[Any] = [None] * nranks
+        done = [False] * nranks
+        blocked: list[RecvOp | None] = [None] * nranks
+        send_values: list[Any] = [None] * nranks
+        mailboxes = [_IndexedMailbox() for _ in range(nranks)]
+        steps = [g.send for g in gens]
+
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
+        ready: list[tuple[float, int]] = [(0.0, r) for r in range(nranks)]
+        heapq.heapify(ready)
+        seq = 0
+
+        # Cyclic GC off for the duration of the loop: the scheduler's own
+        # allocations are acyclic (typed columns, tuples, short-lived
+        # _Messages), but at 10k+ ranks the rank generators and mailboxes
+        # make every full collection an O(heap) scan, and the growing
+        # record retriggers them throughout the run.  Restored on every
+        # exit path, including validation errors raised from the loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while ready:
+                clock, r = heappop(ready)
+                if done[r]:
+                    continue
+                c = clocks[r]
+                if clock > c:
+                    c = clock
+                step = steps[r]
+                sv = send_values[r]
+                while True:
+                    try:
+                        op = step(sv)
+                    except StopIteration as stop:
+                        done[r] = True
+                        retvals[r] = stop.value
+                        clocks[r] = c
+                        break
+                    sv = None
+                    try:
+                        code = op._code
+                    except AttributeError:
+                        code = _resolve_opcode(op)
+                        if code is None:
+                            raise TypeError(
+                                f"rank {r} yielded unknown op {op!r}"
+                            ) from None
+                    if code == _SEND:
+                        dest = op.dest
+                        if not 0 <= dest < nranks:
+                            raise ValueError(
+                                f"rank {r}: send to invalid rank {dest}"
+                            )
+                        nwords = op.nwords
+                        if nwords < 0:
+                            raise ValueError(f"negative message size: {nwords}")
+                        t0 = c
+                        c = c + (t_setup + t_word * nwords)
+                        seq += 1
+                        if rec is not None:
+                            # msg id == seq - 1: both advance once per send
+                            nd_ext((_SEND, r, n_msgs, t0, c, 0.0))
+                            msi_ext((r, dest, op.tag, nwords, n_nodes, -1))
+                            n_nodes += 1
+                            n_msgs += 1
+                        else:
+                            words_sent[r] += nwords
+                            msgs_sent[r] += 1
+                            if nwords > 0:
+                                data_sent[r] += 1
+                        clocks[r] = c
+                        tag = op.tag
+                        bop = blocked[dest]
+                        if bop is not None and (
+                            bop.source == ANY or bop.source == r
+                        ) and (bop.tag == ANY or bop.tag == tag):
+                            # direct delivery to the blocked receiver: a
+                            # rank blocks only when no matching message
+                            # exists, and every later send checks the
+                            # blocked op before posting, so while a rank
+                            # is blocked its mailbox never holds a match.
+                            # The message skips the mailbox entirely (no
+                            # _Message is even constructed — add +
+                            # pop_match would round-trip one for nothing).
+                            # Inlined rather than a closure: a helper
+                            # capturing the loop's state would turn its
+                            # hottest locals into cell variables.
+                            blocked[dest] = None
+                            t0d = clocks[dest]
+                            cd = t0d + t_setup
+                            dwait = c - cd
+                            if dwait > 0.0:
+                                cd = c
+                            else:
+                                dwait = 0.0
+                            clocks[dest] = cd
+                            if rec is not None:
+                                mid = seq - 1
+                                ms_i[6 * mid + 5] = n_nodes
+                                nd_ext((_RECV, dest, mid, t0d, cd, dwait))
+                                if dwait != 0.0:
+                                    wt_ext((dest, dwait))
+                                n_nodes += 1
+                            else:
+                                waited[dest] += dwait
+                                words_recv[dest] += nwords
+                                msgs_recv[dest] += 1
+                                if nwords > 0:
+                                    data_recv[dest] += 1
+                            send_values[dest] = (op.payload, r, tag)
+                            heappush(ready, (cd, dest))
+                        else:
+                            # inlined _IndexedMailbox.add: one bound-method
+                            # call per send is measurable at 10k+ ranks
+                            box = mailboxes[dest]
+                            key = (r, tag)
+                            by_key = box._by_key
+                            bucket = by_key.get(key)
+                            if bucket is None:
+                                by_key[key] = bucket = deque()
+                            bucket.append(
+                                _Message(r, tag, op.payload, nwords, c, seq)
+                            )
+                            box._count += 1
+                    elif code == _RECV:
+                        # inlined _IndexedMailbox.pop_match (recv never
+                        # passes an arrival cap, so that filter drops out)
+                        box = mailboxes[r]
+                        best = None
+                        if box._count:
+                            src = op.source
+                            rtag = op.tag
+                            by_key = box._by_key
+                            if src != ANY and rtag != ANY:
+                                key = (src, rtag)
+                                bucket = by_key.get(key)
+                            else:
+                                key = None
+                                bseq = 0
+                                for k, b in by_key.items():
+                                    if src != ANY and k[0] != src:
+                                        continue
+                                    if rtag != ANY and k[1] != rtag:
+                                        continue
+                                    head = b[0]
+                                    if key is None or head.seq < bseq:
+                                        key, bseq = k, head.seq
+                                bucket = by_key[key] if key is not None \
+                                    else None
+                            if bucket is not None:
+                                best = bucket.popleft()
+                                if not bucket:
+                                    del by_key[key]
+                                box._count -= 1
+                        if best is None:
+                            blocked[r] = op
+                            send_values[r] = None
+                            clocks[r] = c
+                            break  # no heap entry: woken by a matching send
+                        t0 = c
+                        c = t0 + t_setup
+                        arr = best.arrival
+                        wait = arr - c
+                        if wait > 0.0:
+                            c = arr
+                        else:
+                            wait = 0.0
+                        if rec is not None:
+                            mid = best.seq - 1
+                            ms_i[6 * mid + 5] = n_nodes
+                            nd_ext((_RECV, r, mid, t0, c, wait))
+                            if wait != 0.0:
+                                wt_ext((r, wait))
+                            n_nodes += 1
+                        else:
+                            waited[r] += wait
+                            nw = best.nwords
+                            words_recv[r] += nw
+                            msgs_recv[r] += 1
+                            if nw > 0:
+                                data_recv[r] += 1
+                        sv = (best.payload, best.source, best.tag)
+                    elif code == _WORK:
+                        units = op.units
+                        if units < 0:
+                            raise ValueError(f"negative work: {units}")
+                        t0 = c
+                        c = c + t_work * units
+                        if rec is not None:
+                            nd_ext((_WORK, r, -1, t0, c, 0.0))
+                            aux[n_nodes] = units
+                            n_nodes += 1
+                    elif code == _PROBE:
+                        t0 = c
+                        msg = mailboxes[r].pop_match(op.source, op.tag, c)
+                        # the mailbox check costs t_setup, match or not
+                        c = c + t_setup
+                        if msg is not None:
+                            if rec is None:
+                                nw = msg.nwords
+                                words_recv[r] += nw
+                                msgs_recv[r] += 1
+                                if nw > 0:
+                                    data_recv[r] += 1
+                            sv = (True, (msg.payload, msg.source, msg.tag))
+                        else:
+                            sv = (False, None)
+                        if rec is not None:
+                            if msg is not None:
+                                mid = msg.seq - 1
+                                ms_i[6 * mid + 5] = n_nodes
+                            else:
+                                mid = -1
+                            nd_ext((_PROBE, r, mid, t0, c, 0.0))
+                            aux[n_nodes] = (op.source, op.tag)
+                            n_nodes += 1
+                    else:  # _ELAPSE
+                        secs = op.seconds
+                        if secs < 0:
+                            raise ValueError(f"negative elapse: {secs}")
+                        t0 = c
+                        c = c + secs
+                        if rec is not None:
+                            nd_ext((_ELAPSE, r, -1, t0, c, 0.0))
+                            aux[n_nodes] = secs
+                            n_nodes += 1
+                    # run-to-min batching: keep running this rank while it is
+                    # still the minimum of the ready order (ties go to the
+                    # lowest rank id, exactly as heap tuples would).  When it
+                    # falls behind, a single heappushpop (one sift, where a
+                    # push + outer-loop pop would sift twice) re-files this
+                    # rank and hands us the new minimum in place.
+                    if ready:
+                        nt, nr = ready[0]
+                        if c > nt or (c == nt and r > nr):
+                            clocks[r] = c
+                            send_values[r] = sv
+                            clock, r = heappushpop(ready, (c, r))
+                            if done[r]:
+                                break  # stale entry: outer loop rescans
+                            c = clocks[r]
+                            if clock > c:
+                                c = clock
+                            step = steps[r]
+                            sv = send_values[r]
+
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+        stuck = [
+            _BlockedView(d, blocked[d], mailboxes[d])
+            for d in range(nranks) if not done[d]
+        ]
+        if stuck:
+            self._raise_deadlock(
+                stuck,
+                rec.causal_nodes() if rec is not None else None,
+                rec.causal_msgs() if rec is not None else None,
+            )
+
+        if rec is not None:
+            # Vectorized accounting: when recording, the loop above skips
+            # the per-op counter updates entirely and every total is
+            # recovered here from the message table and the small ``wt``
+            # side-channel, so the full node table is never converted to
+            # float64 inside the run.
+            # np.bincount adds its weights in element (= node) order, the
+            # same order the reference path's per-rank ``+=`` sees, so
+            # the float ``waited`` sums are bit-identical (the skipped
+            # zero waits would each have added exactly +0.0).
+            if wt:
+                wt_a = np.asarray(wt, dtype=np.float64).reshape(-1, 2)
+                waited = np.bincount(
+                    wt_a[:, 0].astype(np.intp), weights=wt_a[:, 1],
+                    minlength=nranks,
+                ).tolist()
+            if n_msgs:
+                ms_a = np.asarray(rec.ms_i, dtype=np.int64).reshape(-1, 6)
+                src = ms_a[:, 0]
+                mnw = ms_a[:, 3]
+                words_sent = np.bincount(
+                    src, weights=mnw, minlength=nranks
+                ).astype(np.int64).tolist()
+                msgs_sent = np.bincount(src, minlength=nranks).tolist()
+                data_sent = np.bincount(
+                    src[mnw > 0], minlength=nranks
+                ).tolist()
+                # consumers: a consumed message (recv node assigned) was
+                # received by its ``dst`` rank; these counters are integer
+                # sums, so accumulation order is irrelevant
+                rmask = ms_a[:, 5] >= 0
+                rr = ms_a[:, 1][rmask]
+                rnw = mnw[rmask]
+                words_recv = np.bincount(
+                    rr, weights=rnw, minlength=nranks
+                ).astype(np.int64).tolist()
+                msgs_recv = np.bincount(rr, minlength=nranks).tolist()
+                data_recv = np.bincount(
+                    rr[rnw > 0], minlength=nranks
+                ).tolist()
+
+        makespan = max(clocks)
+        busy_a = np.asarray(clocks) - np.asarray(waited)
+        busy = busy_a.tolist()
+        idle = (makespan - busy_a).tolist()
+        total_messages = sum(msgs_sent)
+        total_words = sum(words_sent)
+
+        tracer = self.tracer
+        if rec is not None:
+            rec.run = tracer.next_causal_run() if tracer is not None else 0
+        if tracer is not None and rec is not None:
+            base = tracer.virtual_now
+            tracer.event(
+                "vm.run", v_time=base, run=rec.run, base=base,
+                makespan=makespan, nranks=nranks,
+                cycle=tracer.cycle, nodes=n_nodes, msgs=n_msgs,
+            )
+            tracer.add_vm_chunk(rec, base)
+            tracer.count("vm.messages", total_messages)
+            tracer.count("vm.words", total_words)
+            mpr = tracer.metric_per_rank
+            mpr("repro.vm.messages_sent", data_sent)
+            mpr("repro.vm.messages_recv", data_recv)
+            mpr("repro.vm.sync_messages",
+                [m - d for m, d in zip(msgs_sent, data_sent)])
+            mpr("repro.vm.words_sent", words_sent)
+            mpr("repro.vm.words_recv", words_recv)
+            mpr("repro.vm.busy_seconds", busy)
+            mpr("repro.vm.idle_seconds", idle)
+
+        return RunResult(
+            returns=retvals,
+            clocks=clocks,
+            total_messages=total_messages,
+            total_words=total_words,
+            words_sent_per_rank=words_sent,
+            words_recv_per_rank=words_recv,
+            msgs_sent_per_rank=msgs_sent,
+            msgs_recv_per_rank=msgs_recv,
+            busy_per_rank=busy,
+            idle_per_rank=idle,
+            record=rec,
+            want_trace=self.trace,
+        )
+
+    # --- reference scheduler ------------------------------------------------
+
+    def _run_reference(self, gens: list) -> RunResult:
+        """One-op-per-heap-pop scheduler with eager object records."""
+        from repro.obs.causal import CausalMsg, CausalNode
+
+        ranks = [
+            _Rank(r, gen, mailbox=_ListMailbox())
+            for r, gen in enumerate(gens)
+        ]
         ready: list[tuple[float, int]] = [(0.0, r) for r in range(self.nranks)]
         heapq.heapify(ready)
         seq = 0
@@ -327,8 +1013,6 @@ class VirtualMachine:
         nodes: list | None = None
         msgs_rec: list | None = None
         if recording:
-            from repro.obs.causal import CausalMsg, CausalNode
-
             nodes, msgs_rec = [], []
 
         while ready:
@@ -358,7 +1042,10 @@ class VirtualMachine:
                     raise ValueError(f"negative elapse: {op.seconds}")
                 t0 = st.clock
                 st.clock += op.seconds
-                if nodes is not None:
+                if events is not None:
+                    events.append(
+                        TraceEvent(st.clock, r, "elapse", (op.seconds,))
+                    )
                     nodes.append(CausalNode(-1, len(nodes), r, "elapse",
                                             t0, st.clock))
                 heapq.heappush(ready, (st.clock, r))
@@ -425,27 +1112,7 @@ class VirtualMachine:
 
         stuck = [s for s in ranks if not s.done]
         if stuck:
-            message = (
-                f"ranks {[s.rank for s in stuck]} are blocked on receives "
-                "that never arrive:\n" + "\n".join(_blocked_line(s) for s in stuck)
-            )
-            chains = None
-            if nodes is not None:
-                chains = _deadlock_chains(stuck, nodes, msgs_rec)
-                if chains:
-                    message += "\nlast completed causal chain per blocked rank:"
-                    for rank in sorted(chains):
-                        message += f"\n  rank {rank}: {chains[rank][1]}"
-            else:
-                message += (
-                    "\n(run with trace=True or a tracer to see each rank's "
-                    "last completed causal chain)"
-                )
-            raise DeadlockError(
-                message,
-                blocked=[_blocked_record(s) for s in stuck],
-                chains={r: c for r, (c, _) in (chains or {}).items()},
-            )
+            self._raise_deadlock(stuck, nodes, msgs_rec)
 
         makespan = max((s.clock for s in ranks), default=0.0)
         busy = [s.clock - s.waited for s in ranks]
@@ -508,6 +1175,32 @@ class VirtualMachine:
             msgs=msgs_rec,
         )
 
+    # --- shared helpers -----------------------------------------------------
+
+    def _raise_deadlock(self, stuck: list, nodes: list | None,
+                        msgs_rec: list | None):
+        message = (
+            f"ranks {[s.rank for s in stuck]} are blocked on receives "
+            "that never arrive:\n" + "\n".join(_blocked_line(s) for s in stuck)
+        )
+        chains = None
+        if nodes is not None:
+            chains = _deadlock_chains(stuck, nodes, msgs_rec)
+            if chains:
+                message += "\nlast completed causal chain per blocked rank:"
+                for rank in sorted(chains):
+                    message += f"\n  rank {rank}: {chains[rank][1]}"
+        else:
+            message += (
+                "\n(run with trace=True or a tracer to see each rank's "
+                "last completed causal chain)"
+            )
+        raise DeadlockError(
+            message,
+            blocked=[_blocked_record(s) for s in stuck],
+            chains={r: c for r, (c, _) in (chains or {}).items()},
+        )
+
     @staticmethod
     def _matches(op: RecvOp, msg: _Message) -> bool:
         return (op.source in (ANY, msg.source)) and (op.tag in (ANY, msg.tag))
@@ -544,7 +1237,18 @@ class VirtualMachine:
         heapq.heappush(ready, (st.clock, st.rank))
 
 
-def _deadlock_chains(stuck: list[_Rank], nodes: list, msgs_rec: list) -> dict:
+def _resolve_opcode(op) -> int | None:
+    """Slow-path dispatch for op subclasses: resolve by ``isinstance`` and
+    memoize the concrete class into the dispatch table."""
+    for base, code in ((WorkOp, _WORK), (ElapseOp, _ELAPSE), (SendOp, _SEND),
+                       (RecvOp, _RECV), (ProbeOp, _PROBE)):
+        if isinstance(op, base):
+            _OPCODES[op.__class__] = code
+            return code
+    return None
+
+
+def _deadlock_chains(stuck: list, nodes: list, msgs_rec: list) -> dict:
     """Per blocked rank: (causal chain to its last completed node, text)."""
     from repro.obs.causal import chain_of, format_chain
 
@@ -566,7 +1270,7 @@ def _fmt_match(value: int) -> str:
     return "ANY" if value == ANY else str(value)
 
 
-def _mailbox_summary(st: _Rank) -> list[tuple[int, int, int]]:
+def _mailbox_summary(st) -> list[tuple[int, int, int]]:
     """Unmatched-message census: sorted ``(source, tag, count)`` triples."""
     census: dict[tuple[int, int], int] = {}
     for m in st.mailbox.messages():
@@ -575,13 +1279,13 @@ def _mailbox_summary(st: _Rank) -> list[tuple[int, int, int]]:
     return [(src, tag, n) for (src, tag), n in sorted(census.items())]
 
 
-def _blocked_record(st: _Rank) -> tuple:
+def _blocked_record(st) -> tuple:
     op = st.blocked_on
     pending = (op.source, op.tag) if op is not None else None
     return (st.rank, pending, _mailbox_summary(st))
 
 
-def _blocked_line(st: _Rank) -> str:
+def _blocked_line(st) -> str:
     op = st.blocked_on
     pending = (
         f"recv(source={_fmt_match(op.source)}, tag={_fmt_match(op.tag)})"

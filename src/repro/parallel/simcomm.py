@@ -77,7 +77,7 @@ class Request:
         """Block until complete; returns the payload (None for sends)."""
         if self._done:
             return self._value
-        payload, _s, _t = yield from self._comm._recv(self._source, self._tag)
+        payload, _s, _t = yield self._comm._recv_op(self._source, self._tag)
         self._value = payload
         self._done = True
         return payload
@@ -86,7 +86,7 @@ class Request:
         """Non-blocking completion check; returns (done, payload)."""
         if self._done:
             return True, self._value
-        matched, result = yield from self._comm._probe(self._source, self._tag)
+        matched, result = yield self._comm._probe_op(self._source, self._tag)
         if matched:
             payload, _s, _t = result
             self._value = payload
@@ -106,15 +106,44 @@ class Comm:
 
     # --- primitive layer (overridden by SubComm for rank/tag translation) ---
 
+    def _send_op(self, dest: int, tag: int, obj: Any, nwords: int) -> SendOp:
+        """The send as a plain op (already in the machine's rank/tag space).
+
+        Internal call sites ``yield self._send_op(...)`` directly, so a
+        (possibly nested) SubComm translation costs function calls rather
+        than a stack of delegating generator frames per message.
+        """
+        return SendOp(dest, tag, obj, nwords)
+
+    def _recv_op(self, source: int, tag: int) -> RecvOp:
+        """The receive as a plain op (machine rank/tag space).
+
+        Yielding it resolves to ``(payload, source, tag)`` with the source
+        in *machine* rank space — call sites that need the local source
+        must run it through :meth:`_local_source`.  Most internal sites
+        discard the source entirely and just ``yield self._recv_op(...)``.
+        """
+        return RecvOp(source, tag)
+
+    def _probe_op(self, source: int, tag: int) -> ProbeOp:
+        """The probe as a plain op (machine rank/tag space); resolves to
+        ``(matched, (payload, machine_source, machine_tag) | None)``."""
+        return ProbeOp(source, tag)
+
+    def _local_source(self, src: int) -> int:
+        """Translate a machine-space source rank into this communicator's
+        rank space (identity here; SubComm folds back through its parent)."""
+        return src
+
     def _send(self, dest: int, tag: int, obj: Any, nwords: int):
-        yield SendOp(dest, tag, obj, nwords)
+        yield self._send_op(dest, tag, obj, nwords)
 
     def _recv(self, source: int, tag: int):
         """Returns (payload, source, tag) in this communicator's rank space."""
-        return (yield RecvOp(source, tag))
+        return (yield self._recv_op(source, tag))
 
     def _probe(self, source: int, tag: int):
-        return (yield ProbeOp(source, tag))
+        return (yield self._probe_op(source, tag))
 
     # --- local time -------------------------------------------------------
 
@@ -131,13 +160,13 @@ class Comm:
     def send(self, obj: Any, dest: int, tag: int = 0, nwords: int | None = None):
         """Buffered send; completes after the message is on the wire."""
         self._check_tag(tag)
-        yield from self._send(
+        yield self._send_op(
             dest, tag, obj, word_count(obj) if nwords is None else nwords
         )
 
     def recv(self, source: int = ANY, tag: int = ANY):
         """Blocking receive; returns the matching payload."""
-        payload, _src, _tag = yield from self._recv(source, tag)
+        payload, _src, _tag = yield self._recv_op(source, tag)
         return payload
 
     def recv_status(self, source: int = ANY, tag: int = ANY):
@@ -147,7 +176,7 @@ class Comm:
     def isend(self, obj: Any, dest: int, tag: int = 0, nwords: int | None = None):
         """Nonblocking send; completes eagerly (buffered postal model)."""
         self._check_tag(tag)
-        yield from self._send(
+        yield self._send_op(
             dest, tag, obj, word_count(obj) if nwords is None else nwords
         )
         return Request(done=True)
@@ -183,8 +212,8 @@ class Comm:
         while k < self.size:
             dest = (self.rank + k) % self.size
             src = (self.rank - k) % self.size
-            yield from self._send(dest, _TAG_BARRIER, None, 0)
-            yield from self._recv(src, _TAG_BARRIER)
+            yield self._send_op(dest, _TAG_BARRIER, None, 0)
+            yield self._recv_op(src, _TAG_BARRIER)
             k *= 2
 
     def bcast(self, obj: Any, root: int = 0):
@@ -199,14 +228,14 @@ class Comm:
         while mask < self.size:
             if vrank & mask:
                 parent = ((vrank - mask) + root) % self.size
-                obj, _s, _t = yield from self._recv(parent, _TAG_BCAST)
+                obj, _s, _t = yield self._recv_op(parent, _TAG_BCAST)
                 break
             mask *= 2
         mask //= 2
         while mask > 0:
             child = vrank + mask
             if child < self.size:
-                yield from self._send(
+                yield self._send_op(
                     (child + root) % self.size, _TAG_BCAST, obj, word_count(obj)
                 )
             mask //= 2
@@ -218,10 +247,10 @@ class Comm:
             out: list[Any] = [None] * self.size
             out[root] = obj
             for _ in range(self.size - 1):
-                payload, src, _t = yield from self._recv(ANY, _TAG_GATHER)
-                out[src] = payload
+                payload, src, _t = yield self._recv_op(ANY, _TAG_GATHER)
+                out[self._local_source(src)] = payload
             return out
-        yield from self._send(root, _TAG_GATHER, obj, word_count(obj))
+        yield self._send_op(root, _TAG_GATHER, obj, word_count(obj))
         return None
 
     def scatter(self, objs: list | None, root: int = 0):
@@ -234,11 +263,11 @@ class Comm:
                 )
             for dst in range(self.size):
                 if dst != root:
-                    yield from self._send(
+                    yield self._send_op(
                         dst, _TAG_SCATTER, objs[dst], word_count(objs[dst])
                     )
             return objs[root]
-        payload, _s, _t = yield from self._recv(root, _TAG_SCATTER)
+        payload, _s, _t = yield self._recv_op(root, _TAG_SCATTER)
         return payload
 
     def reduce(self, obj: Any, op: Callable = operator.add, root: int = 0):
@@ -256,24 +285,59 @@ class Comm:
         while mask < self.size:
             if self.rank & mask:
                 parent = self.rank & ~mask
-                yield from self._send(parent, _TAG_REDUCE, acc, word_count(acc))
+                yield self._send_op(parent, _TAG_REDUCE, acc, word_count(acc))
                 break
             child = self.rank | mask
             if child < self.size:
-                payload, _s, _t = yield from self._recv(child, _TAG_REDUCE)
+                payload, _s, _t = yield self._recv_op(child, _TAG_REDUCE)
                 acc = op(acc, payload)
             mask *= 2
         if root != 0:
             if self.rank == 0:
-                yield from self._send(root, _TAG_REDUCE, acc, word_count(acc))
+                yield self._send_op(root, _TAG_REDUCE, acc, word_count(acc))
             elif self.rank == root:
-                acc, _s, _t = yield from self._recv(0, _TAG_REDUCE)
+                acc, _s, _t = yield self._recv_op(0, _TAG_REDUCE)
         return acc if self.rank == root else None
 
     def allreduce(self, obj: Any, op: Callable = operator.add):
-        """Reduction whose result is returned on every rank."""
-        acc = yield from self.reduce(obj, op=op, root=0)
-        return (yield from self.bcast(acc, root=0))
+        """Reduction whose result is returned on every rank.
+
+        Identical op schedule to ``reduce(root=0)`` followed by
+        ``bcast(root=0)``, fused into one generator frame: an allreduce
+        per propagation round is the exec phase's convergence check, and
+        at 10k+ virtual ranks the two delegate frames (creation plus a
+        ``yield from`` hop per op) are pure scheduler overhead.
+        """
+        rank = self.rank
+        size = self.size
+        # reduce to rank 0, combining in rank order (see ``reduce``)
+        acc = obj
+        mask = 1
+        while mask < size:
+            if rank & mask:
+                yield self._send_op(
+                    rank & ~mask, _TAG_REDUCE, acc, word_count(acc)
+                )
+                break
+            child = rank | mask
+            if child < size:
+                payload, _s, _t = yield self._recv_op(child, _TAG_REDUCE)
+                acc = op(acc, payload)
+            mask *= 2
+        # binomial broadcast from rank 0 (vrank == rank; see ``bcast``)
+        mask = 1
+        while mask < size:
+            if rank & mask:
+                acc, _s, _t = yield self._recv_op(rank - mask, _TAG_BCAST)
+                break
+            mask *= 2
+        mask //= 2
+        while mask > 0:
+            child = rank + mask
+            if child < size:
+                yield self._send_op(child, _TAG_BCAST, acc, word_count(acc))
+            mask //= 2
+        return acc
 
     def allgather(self, obj: Any):
         """Gather one object per rank, result list returned on every rank."""
@@ -294,11 +358,12 @@ class Comm:
         for k in range(1, self.size):
             dest = (self.rank + k) % self.size
             src = (self.rank - k) % self.size
-            yield from self._send(
+            yield self._send_op(
                 dest, _TAG_ALLTOALL, objs[dest], word_count(objs[dest])
             )
-            payload, got_src, _t = yield from self._recv(src, _TAG_ALLTOALL)
-            out[got_src] = payload
+            # the receive names its source, so the local index is just src
+            payload, _got, _t = yield self._recv_op(src, _TAG_ALLTOALL)
+            out[src] = payload
         return out
 
     def scan(self, obj: Any, op: Callable = operator.add):
@@ -311,9 +376,9 @@ class Comm:
         k = 1
         while k < self.size:
             if self.rank + k < self.size:
-                yield from self._send(self.rank + k, _TAG_SCAN, acc, word_count(acc))
+                yield self._send_op(self.rank + k, _TAG_SCAN, acc, word_count(acc))
             if self.rank - k >= 0:
-                payload, _s, _t = yield from self._recv(self.rank - k, _TAG_SCAN)
+                payload, _s, _t = yield self._recv_op(self.rank - k, _TAG_SCAN)
                 acc = op(payload, acc)
             k *= 2
         return acc
@@ -434,20 +499,29 @@ class SubComm(Comm):
                 f"SubComm user tags must be in [0, {_SUB_TAG_SPAN}), got {tag}"
             )
 
-    def _send(self, dest: int, tag: int, obj: Any, nwords: int):
-        yield from self.parent._send(
+    def _send_op(self, dest: int, tag: int, obj: Any, nwords: int) -> SendOp:
+        return self.parent._send_op(
             self.parent_ranks[dest], self._map_tag(tag), obj, nwords
         )
 
-    def _recv(self, source: int, tag: int):
+    def _recv_op(self, source: int, tag: int) -> RecvOp:
         psrc = ANY if source == ANY else self.parent_ranks[source]
-        payload, src, t = yield from self.parent._recv(psrc, self._map_tag(tag))
-        return payload, self._to_local[src], tag
+        return self.parent._recv_op(psrc, self._map_tag(tag))
+
+    def _probe_op(self, source: int, tag: int) -> ProbeOp:
+        psrc = ANY if source == ANY else self.parent_ranks[source]
+        return self.parent._probe_op(psrc, self._map_tag(tag))
+
+    def _local_source(self, src: int) -> int:
+        return self._to_local[self.parent._local_source(src)]
+
+    def _recv(self, source: int, tag: int):
+        payload, src, _t = yield self._recv_op(source, tag)
+        return payload, self._local_source(src), tag
 
     def _probe(self, source: int, tag: int):
-        psrc = ANY if source == ANY else self.parent_ranks[source]
-        matched, result = yield from self.parent._probe(psrc, self._map_tag(tag))
+        matched, result = yield self._probe_op(source, tag)
         if matched:
             payload, src, _t = result
-            return True, (payload, self._to_local[src], tag)
+            return True, (payload, self._local_source(src), tag)
         return False, None

@@ -1,0 +1,67 @@
+"""Every scheduler op kind must reach both observability streams.
+
+Regression for the elapse gap: ``ElapseOp`` used to record only a causal
+node, so ``vm.elapse`` never appeared among the tracer's mirrored point
+events and idle-polling loops were invisible to event-level tooling.
+Both scheduler paths — the columnar lazy-mirroring one and the eager
+reference one — must now surface every kind (work, elapse, send, recv)
+as a ``vm.<kind>`` point event *and* as a causal node, with matching
+counts and details.
+"""
+
+from contextlib import nullcontext
+
+import pytest
+
+from repro.kernels import reference_kernels
+from repro.obs import Tracer
+from repro.parallel import SP2_1997, VirtualMachine
+
+
+def _prog(comm):
+    yield from comm.compute(5)
+    yield from comm.elapse(0.125 * (comm.rank + 1))
+    nxt = (comm.rank + 1) % comm.size
+    prev = (comm.rank - 1) % comm.size
+    yield from comm.send("x", dest=nxt, tag=1, nwords=2)
+    _ = yield from comm.recv(source=prev, tag=1)
+
+
+@pytest.mark.parametrize("reference", [False, True])
+def test_every_op_kind_in_both_streams(reference):
+    tracer = Tracer()
+    ctx = reference_kernels() if reference else nullcontext()
+    with ctx:
+        res = VirtualMachine(2, SP2_1997, trace=True, tracer=tracer).run(_prog)
+
+    point_names = [e.name for e in tracer.events]
+    causal_kinds = [n.kind for n in tracer.causal_nodes]
+    for kind in ("work", "elapse", "send", "recv"):
+        assert f"vm.{kind}" in point_names, (reference, kind)
+        assert kind in causal_kinds, (reference, kind)
+        # one mirrored point event per causal node of that kind
+        assert point_names.count(f"vm.{kind}") == causal_kinds.count(kind)
+
+    # the elapse events carry the programs' seconds, rank-tagged
+    elapses = [e for e in tracer.events if e.name == "vm.elapse"]
+    assert sorted((e.rank, *e.attrs["detail"]) for e in elapses) == [
+        (0, 0.125), (1, 0.25),
+    ]
+
+    # and the RunResult views agree stream-for-stream
+    assert [ev.kind for ev in res.trace].count("elapse") == 2
+    assert [n.kind for n in res.nodes].count("elapse") == 2
+
+
+def test_elapse_point_events_identical_across_paths():
+    def run(reference):
+        tracer = Tracer()
+        ctx = reference_kernels() if reference else nullcontext()
+        with ctx:
+            VirtualMachine(3, SP2_1997, tracer=tracer).run(_prog)
+        return [
+            (e.name, e.v_time, e.rank, tuple(e.attrs.get("detail", ())))
+            for e in tracer.events
+        ]
+
+    assert run(False) == run(True)

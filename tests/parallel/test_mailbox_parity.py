@@ -10,6 +10,8 @@ identical.  The whole-VM half runs the same randomized programs under
 both mailbox kernels and requires bit-identical results.
 """
 
+import dataclasses
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -61,7 +63,7 @@ def test_mailboxes_observably_equivalent(seed, n_ops):
         if op[0] == "add":
             msg = op[1]
             fast.add(msg)
-            ref.add(_Message(**msg.__dict__))
+            ref.add(dataclasses.replace(msg))
         elif op[0] == "has":
             _, source, tag, _ = op
             assert fast.has_match(source, tag) == ref.has_match(source, tag)
@@ -98,6 +100,26 @@ def test_arrival_cap_filters_identically():
                          arrival=5.0, seq=1))
         assert box.pop_match(0, 0, max_arrival=4.0) is None
         assert box.pop_match(0, 0, max_arrival=5.0).seq == 1
+
+
+def test_pop_match_with_ndarray_payloads():
+    """Regression: removal must be by index, never by equality.
+
+    ``list.remove`` would invoke the dataclass ``__eq__``, which raises
+    ``The truth value of an array ... is ambiguous`` the moment two
+    ndarray-payload messages have to be compared — i.e. whenever more
+    than one message is queued, the common case under load.
+    """
+    for box in (_IndexedMailbox(), _ListMailbox()):
+        for seq in (1, 2, 3):
+            box.add(_Message(source=seq % 2, tag=7,
+                             payload=np.arange(4) * seq, nwords=4,
+                             arrival=float(seq), seq=seq))
+        got = box.pop_match(ANY, 7)
+        assert got.seq == 1, type(box).__name__
+        np.testing.assert_array_equal(got.payload, np.arange(4))
+        assert box.pop_match(ANY, ANY).seq == 2
+        assert len(box) == 1
 
 
 # --- whole-VM parity ---------------------------------------------------------
@@ -196,3 +218,26 @@ def test_vm_parity_with_probes():
 
     res_fast, res_ref = _run_both(prog, 2)
     _assert_results_identical(res_fast, res_ref)
+
+
+def test_vm_parity_with_queued_ndarray_payloads():
+    """Several ndarray messages must queue in the receiver's mailbox (the
+    receiver computes first, so nothing is direct-delivered) and then be
+    drained through wildcard receives — the shape that used to crash the
+    reference mailbox's equality-based removal."""
+
+    def prog(comm):
+        me = comm.rank
+        if me == 0:
+            yield from comm.compute(5000)  # let every sender's msg queue up
+            total = 0.0
+            for _ in range(comm.size - 1):
+                data = yield from comm.recv(source=ANY, tag=4)
+                total += float(data.sum())
+            return total
+        yield from comm.compute(me)
+        yield from comm.send(np.full(3, float(me)), dest=0, tag=4, nwords=3)
+
+    res_fast, res_ref = _run_both(prog, 5)
+    _assert_results_identical(res_fast, res_ref)
+    assert res_fast.returns[0] == sum(3.0 * m for m in range(1, 5))

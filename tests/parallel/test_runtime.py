@@ -106,6 +106,18 @@ def test_per_rank_arguments():
     assert res.returns == [11, 22, 33]
 
 
+def test_per_rank_length_must_match_nranks():
+    def prog(comm, x, k=0):
+        yield from comm.compute(1)
+        return x + k
+
+    with pytest.raises(ValueError, match="2 values but the machine has 3"):
+        VirtualMachine(3).run(prog, per_rank([1, 2]))
+    # keyword per_rank arguments are validated too, before any rank runs
+    with pytest.raises(ValueError, match="4 values but the machine has 3"):
+        VirtualMachine(3).run(prog, per_rank([1, 2, 3]), k=per_rank([0] * 4))
+
+
 def test_clock_monotone_and_message_cost():
     m = MachineModel(t_setup=1.0, t_word=0.1, t_work=0.0)
 
