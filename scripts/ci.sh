@@ -31,14 +31,30 @@ PYTHONPATH=src python -m repro diff "$tmp/step.jsonl" "$tmp/step.jsonl" > "$tmp/
 grep -q "delta: +0.000000s" "$tmp/diff.txt"
 echo "report smoke: OK"
 
-# multiprocessing-backend smoke: the fig6 exec-phase workload must produce
-# payloads identical to the virtual backend's, under a hard timeout so a
-# hung rank process fails CI instead of wedging it.
-timeout 300 env PYTHONPATH=src python -m repro calibrate 4 --nproc 4 \
+# real-backend smoke: the fig6 exec-phase workload must produce payloads
+# identical to the virtual backend's on every measured backend (queue
+# pickling and zero-copy slabs), under a hard timeout so a hung rank
+# process fails CI instead of wedging it.  --fit exercises the machine-
+# constant regression on the measured walls.
+timeout 300 env PYTHONPATH=src python -m repro calibrate 4 --nproc 4 --fit \
     > "$tmp/calibrate.txt"
 grep -q "backend 'multiprocessing' vs 'virtual'" "$tmp/calibrate.txt"
+grep -q "backend 'shm' vs 'virtual'" "$tmp/calibrate.txt"
+grep -q "pickle vs zero-copy (measured host wall" "$tmp/calibrate.txt"
 grep -q "payloads: identical across backends" "$tmp/calibrate.txt"
-echo "multiprocessing smoke: OK"
+grep -q "fitted machine constants" "$tmp/calibrate.txt"
+echo "real-backend smoke: OK"
+
+# MPI lane: the same rank programs under mpiexec, when an MPI stack is
+# installed; skipped cleanly (not failed) on hosts without one.
+if command -v mpiexec > /dev/null 2>&1 \
+    && PYTHONPATH=src python -c "import mpi4py" > /dev/null 2>&1; then
+    timeout 300 mpiexec -n 4 python scripts/mpi_smoke.py > "$tmp/mpi.txt"
+    grep -q "mpi smoke: OK" "$tmp/mpi.txt"
+    echo "mpi smoke: OK"
+else
+    echo "mpi smoke: SKIP (mpiexec or mpi4py unavailable)"
+fi
 
 # weak-scaling smoke: the vectorized scheduler must still beat the eager
 # reference path on the fig6-style cycle (small rank count keeps this a

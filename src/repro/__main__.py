@@ -125,6 +125,11 @@ def _build_parser() -> argparse.ArgumentParser:
              "(repeatable; default: every registered real-execution "
              "backend except mpi4py)",
     )
+    p_cal.add_argument(
+        "--fit", action="store_true",
+        help="least-squares fit of t_setup/t_word/t_work machine "
+             "constants from the measured phase times",
+    )
     add_tracing(p_cal)
 
     p_cp = sub.add_parser(
@@ -291,6 +296,11 @@ def _cmd_calibrate(args) -> int:
         args.resolution, args.nproc, backends=backends, tracer=tracer
     )
     print(format_calibration(report))
+    if args.fit:
+        from repro.experiments.fit import fit_calibration, format_fits
+
+        print()
+        print(format_fits(fit_calibration(report)))
     if tracer is not None:
         _export(tracer, args.trace_out, args.chrome_out)
     return 0 if report.payloads_identical else 1

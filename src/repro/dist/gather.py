@@ -106,20 +106,24 @@ def finalize(
         for lm, own in zip(locals_, owner_masks)
     ]
 
+    if tracer is None:
+        from repro.obs import current_tracer
+
+        tracer = current_tracer()
+    comm = resolve_backend(backend, nproc, machine=machine, tracer=tracer)
+    # Measured backends ship the gathered blocks for real (see migrate);
+    # the virtual machine keeps the modelled-traffic form.
+    real_wire = bool(getattr(comm, "measured", False))
+
     def program(comm, words):
         if comm.rank == host:
             for _ in range(comm.size - 1):
                 _ = yield from comm.recv(tag=9)
             yield from comm.compute(sum(payload_words))  # concatenation
         else:
-            yield from comm.send(None, dest=host, tag=9, nwords=words)
+            payload = np.zeros(words, dtype=np.float64) if real_wire else None
+            yield from comm.send(payload, dest=host, tag=9, nwords=words)
         yield from comm.barrier()
-
-    if tracer is None:
-        from repro.obs import current_tracer
-
-        tracer = current_tracer()
-    comm = resolve_backend(backend, nproc, machine=machine, tracer=tracer)
     res = comm.run(program, per_rank(payload_words))
     record_backend_run(tracer, "gather", res)
 

@@ -16,6 +16,13 @@ from .figures import (
     fig8_actual_improvement,
     max_improvement,
 )
+from .fit import (
+    FittedModel,
+    fit_calibration,
+    fit_machine_model,
+    format_fits,
+    phase_cost_features,
+)
 from .sweep import SWEEP_PROCS, case_for, run_step
 from .table1 import grid_sizes
 from .table2 import MapperRow, mapper_comparison
@@ -29,9 +36,13 @@ __all__ = [
     "REAL_FRACTIONS",
     "RotorCase",
     "SWEEP_PROCS",
+    "FittedModel",
     "calibrate",
     "case_for",
+    "fit_calibration",
+    "fit_machine_model",
     "format_calibration",
+    "format_fits",
     "fig4_speedup",
     "fig5_remap_times",
     "fig6_anatomy",
@@ -41,6 +52,7 @@ __all__ = [
     "make_case",
     "mapper_comparison",
     "max_improvement",
+    "phase_cost_features",
     "run_exec_phase_workload",
     "run_step",
 ]

@@ -1,0 +1,176 @@
+"""Fit LogGP machine constants to measured phase times.
+
+``repro calibrate`` prints measured/modelled ratios and leaves the
+rescaling to the reader; this module closes the loop.  The modelled time
+of each exec-phase is (to the LogGP model) a linear combination
+
+    t_phase  =  n_setup * t_setup  +  n_word * t_word  +  n_work * t_work
+
+whose coefficients — critical-path message count, word volume, and work
+units — can be *extracted from the virtual machine itself* by running
+the same workload under three unit machine models (t_setup=1 with the
+other constants 0, and so on).  Regressing the measured backend's phase
+walls on those features recovers the machine constants of the host the
+way Figure 6's SP2 constants were measured in 1997.
+
+Caveat: the virtual makespan is a max over ranks of per-rank sums, so
+the extracted features are exact only while the critical path does not
+shift with the constants; for this library's phase workloads the rank
+with the most elements dominates every term, which keeps the linear
+form honest (and the fit's residual reports how honest).
+
+Least squares is solved with a nonnegativity guard: machine constants
+below zero are meaningless, so negative coefficients are clamped to
+zero and the remaining columns refit (the standard active-set sweep for
+small problems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.machine import MachineModel, SP2_1997
+
+from .calibrate import PHASES, CalibrationReport, run_exec_phase_workload
+
+__all__ = [
+    "FittedModel",
+    "phase_cost_features",
+    "fit_machine_model",
+    "fit_calibration",
+    "format_fits",
+]
+
+#: Unit machine models used to extract one feature column each.
+_UNIT_MODELS = (
+    ("n_setup", MachineModel(t_setup=1.0, t_word=0.0, t_work=0.0)),
+    ("n_word", MachineModel(t_setup=0.0, t_word=1.0, t_work=0.0)),
+    ("n_work", MachineModel(t_setup=0.0, t_word=0.0, t_work=1.0)),
+)
+
+
+@dataclass(frozen=True)
+class FittedModel:
+    """Machine constants regressed from one backend's measured phases."""
+
+    backend: str
+    t_setup: float
+    t_word: float
+    t_work: float
+    residual_rms: float  #: RMS of (measured - fitted) over the phases
+    measured: dict  #: phase -> measured seconds the fit saw
+    fitted: dict  #: phase -> seconds the fitted model reproduces
+
+    def as_machine(self) -> MachineModel:
+        return MachineModel(
+            t_setup=self.t_setup, t_word=self.t_word, t_work=self.t_work
+        )
+
+
+def phase_cost_features(
+    resolution: int, nproc: int, seed: int = 0
+) -> dict[str, np.ndarray]:
+    """Extract each phase's (n_setup, n_word, n_work) critical-path costs.
+
+    Runs the fig6 exec-phase workload three times on the ``virtual``
+    backend under the unit machine models; the phase makespan under each
+    is that feature's coefficient.  Deterministic, so the three runs see
+    bit-identical workloads.
+    """
+    columns = []
+    for _name, machine in _UNIT_MODELS:
+        res = run_exec_phase_workload(
+            resolution, nproc, "virtual", machine=machine, seed=seed
+        )
+        columns.append(res.makespans())
+    return {
+        phase: np.array([col[phase] for col in columns])
+        for phase in PHASES
+    }
+
+
+def fit_machine_model(
+    features: dict[str, np.ndarray],
+    measured: dict[str, float],
+    backend: str = "measured",
+) -> FittedModel:
+    """Nonnegative least-squares fit of the three machine constants.
+
+    ``features`` maps phase -> (n_setup, n_word, n_work); ``measured``
+    maps phase -> seconds on the real backend.  Any constant the
+    unconstrained solution drives negative is clamped to zero and the
+    rest refit, so the returned model is always physically meaningful.
+    """
+    phases = [p for p in PHASES if p in features and p in measured]
+    if len(phases) < 3:
+        raise ValueError(
+            f"need at least 3 phases to fit 3 constants, got {phases}"
+        )
+    X = np.array([features[p] for p in phases], dtype=float)
+    y = np.array([measured[p] for p in phases], dtype=float)
+    active = [0, 1, 2]
+    theta = np.zeros(3)
+    while active:
+        sol, *_ = np.linalg.lstsq(X[:, active], y, rcond=None)
+        if (sol >= 0).all():
+            theta[:] = 0.0
+            theta[active] = sol
+            break
+        # drop the most negative coefficient and refit the rest
+        active.pop(int(np.argmin(sol)))
+    fitted_y = X @ theta
+    fitted = {p: float(v) for p, v in zip(phases, fitted_y)}
+    resid = float(np.sqrt(np.mean((y - fitted_y) ** 2)))
+    return FittedModel(
+        backend=backend,
+        t_setup=float(theta[0]),
+        t_word=float(theta[1]),
+        t_work=float(theta[2]),
+        residual_rms=resid,
+        measured={p: float(measured[p]) for p in phases},
+        fitted=fitted,
+    )
+
+
+def fit_calibration(
+    report: CalibrationReport, seed: int = 0
+) -> list[FittedModel]:
+    """Fit machine constants for every measured backend in ``report``.
+
+    The feature extraction reruns the workload on the virtual machine
+    (cheap and deterministic), so only the report's resolution/nproc are
+    needed — measured phase times come from the report itself.
+    """
+    features = phase_cost_features(report.resolution, report.nproc, seed=seed)
+    return [
+        fit_machine_model(features, run.makespans(), backend=run.backend)
+        for run in report.measured
+    ]
+
+
+def format_fits(fits: list[FittedModel]) -> str:
+    """Render fitted constants next to the SP2 reference as ASCII."""
+    lines = ["fitted machine constants (nonnegative least squares):"]
+    lines.append(
+        f"  {'backend':16s} {'t_setup':>12s} {'t_word':>12s} "
+        f"{'t_work':>12s} {'rms resid(s)':>13s}"
+    )
+    lines.append(
+        f"  {'SP2_1997 (ref)':16s} {SP2_1997.t_setup:12.3e} "
+        f"{SP2_1997.t_word:12.3e} {SP2_1997.t_work:12.3e} {'—':>13s}"
+    )
+    for f in fits:
+        lines.append(
+            f"  {f.backend:16s} {f.t_setup:12.3e} {f.t_word:12.3e} "
+            f"{f.t_work:12.3e} {f.residual_rms:13.3e}"
+        )
+    for f in fits:
+        lines.append(f"\n  {f.backend}: measured vs fitted per phase")
+        for p in f.measured:
+            lines.append(
+                f"    {p:10s} measured {f.measured[p]:.6f}s   "
+                f"fitted {f.fitted[p]:.6f}s"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Transport throughput microbench: queue pickling vs zero-copy slabs.
+
+The paper's LogGP model charges ``t_word`` per 8-byte word on the wire,
+so the measured backends' *message throughput* is what decides whether
+wall times can track the model at realistic payload sizes.  This module
+streams numpy payloads between two real rank processes and measures
+bytes/s per backend, which is how the ``shm`` transport's speedup over
+the pickling ``multiprocessing`` wire is tracked
+(``ext_transport_throughput`` in the bench registry).
+
+The workload is a one-way stream: rank 0 sends ``nmsgs`` float64 arrays
+to rank 1, which touches each payload (first/last element into a
+checksum, so a lazily-wrong view would be caught) and acknowledges once
+at the end.  Throughput is computed from the run's makespan — the
+maximum measured rank wall, which excludes process fork/teardown.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.parallel.backends import create_communicator
+
+__all__ = [
+    "ThroughputPoint",
+    "measure_throughput",
+    "throughput_comparison",
+    "format_throughput",
+]
+
+_TAG_DATA = 7
+_TAG_ACK = 8
+
+
+class ThroughputPoint(NamedTuple):
+    """One measured (backend, payload size) throughput sample."""
+
+    backend: str
+    payload_bytes: int
+    nmsgs: int
+    seconds: float  #: best-of-repeats makespan of the stream
+    bytes_per_s: float
+    ms_per_msg: float
+    transport: dict | None  #: transport counters (``shm`` only)
+
+
+def _stream_program(comm, nmsgs: int, nwords: int):
+    """Rank 0 streams ``nmsgs`` arrays of ``nwords`` float64 to rank 1.
+
+    The send buffer is deliberately *not* mutated between sends: the
+    queue backend's buffered send pickles lazily (feeder thread), so a
+    mutated buffer races with serialization there — whereas the slab
+    transport copies synchronously at send time and would hide the race.
+    """
+    if comm.rank == 0:
+        a = np.arange(nwords, dtype=np.float64)
+        checksum = 0.0
+        for _ in range(nmsgs):
+            checksum += float(a[0]) + float(a[-1])
+            yield from comm.send(a, 1, tag=_TAG_DATA)
+        theirs = yield from comm.recv(source=1, tag=_TAG_ACK)
+        return (checksum, theirs)
+    if comm.rank == 1:
+        checksum = 0.0
+        for _ in range(nmsgs):
+            a = yield from comm.recv(source=0, tag=_TAG_DATA)
+            # touch both ends so a wrong view/stride surfaces as a value
+            checksum += float(a[0]) + float(a[-1])
+            del a  # release the zero-copy view -> slab recycles
+        yield from comm.send(checksum, 0, tag=_TAG_ACK)
+        return checksum
+    return None
+
+
+def measure_throughput(
+    backend: str,
+    payload_bytes: int,
+    nmsgs: int = 128,
+    repeats: int = 3,
+    timeout: float = 120.0,
+    **opts,
+) -> ThroughputPoint:
+    """Stream ``nmsgs`` payloads of ``payload_bytes`` through ``backend``.
+
+    Runs the stream ``repeats`` times and keeps the fastest makespan
+    (standard minimum-filter for a loaded host).  Verifies the receiver's
+    checksum against the sender's on every repeat, so a transport that
+    corrupted or dropped a payload fails loudly rather than benching it.
+    """
+    nwords = max(1, payload_bytes // 8)
+    if backend == "shm":
+        # size slabs to the payload so every point stays zero-copy
+        from repro.parallel.backends.shm import DEFAULT_SLAB_BYTES
+
+        opts.setdefault("slab_bytes", max(DEFAULT_SLAB_BYTES, nwords * 8))
+    best = None
+    transport = None
+    for _ in range(max(1, repeats)):
+        comm = create_communicator(backend, 2, timeout=timeout, **opts)
+        res = comm.run(_stream_program, nmsgs, nwords)
+        sent, acked = res.returns[0]
+        got = res.returns[1]
+        if not (sent == acked == got):
+            raise RuntimeError(
+                f"{backend} transport corrupted the stream: sender checksum "
+                f"{sent!r}, receiver {got!r}, ack {acked!r}"
+            )
+        if best is None or res.makespan < best:
+            best = res.makespan
+            transport = res.transport
+    total = nwords * 8 * nmsgs
+    return ThroughputPoint(
+        backend=backend,
+        payload_bytes=nwords * 8,
+        nmsgs=nmsgs,
+        seconds=best,
+        bytes_per_s=total / best if best > 0 else float("inf"),
+        ms_per_msg=best / nmsgs * 1e3,
+        transport=transport,
+    )
+
+
+def throughput_comparison(
+    payload_sizes: tuple[int, ...] = (64 << 10, 1 << 20, 4 << 20),
+    nmsgs: int = 128,
+    repeats: int = 3,
+    backends: tuple[str, ...] = ("multiprocessing", "shm"),
+) -> list[dict]:
+    """Measure every backend at every payload size.
+
+    Returns one row per size: the per-backend :class:`ThroughputPoint`
+    plus ``speedup`` of the last backend over the first (i.e. zero-copy
+    over pickling with the default pair).
+    """
+    rows = []
+    for size in payload_sizes:
+        points = {
+            b: measure_throughput(b, size, nmsgs=nmsgs, repeats=repeats)
+            for b in backends
+        }
+        first, last = backends[0], backends[-1]
+        rows.append({
+            "payload_bytes": size,
+            "points": points,
+            "speedup": points[first].seconds / points[last].seconds,
+        })
+    return rows
+
+
+def _human_size(nbytes: int) -> str:
+    if nbytes >= 1 << 20 and nbytes % (1 << 20) == 0:
+        return f"{nbytes >> 20}MB"
+    if nbytes >= 1 << 10:
+        return f"{nbytes >> 10}KB"
+    return f"{nbytes}B"
+
+
+def format_throughput(rows: list[dict]) -> str:
+    """ASCII table of a :func:`throughput_comparison` result."""
+    lines = [
+        f"{'payload':>8} {'backend':>16} {'MB/s':>10} {'ms/msg':>8} "
+        f"{'speedup':>8}"
+    ]
+    for row in rows:
+        for i, (name, pt) in enumerate(row["points"].items()):
+            last = i == len(row["points"]) - 1
+            lines.append(
+                f"{_human_size(row['payload_bytes']):>8} {name:>16} "
+                f"{pt.bytes_per_s / 1e6:>10.1f} {pt.ms_per_msg:>8.3f} "
+                f"{row['speedup']:>7.1f}x" if last else
+                f"{_human_size(row['payload_bytes']):>8} {name:>16} "
+                f"{pt.bytes_per_s / 1e6:>10.1f} {pt.ms_per_msg:>8.3f} "
+                f"{'':>8}"
+            )
+    return "\n".join(lines)

@@ -16,6 +16,11 @@ operations over some transport:
     real ``multiprocessing`` queues with ``(source, tag)`` matching and
     wildcard semantics identical to the virtual machine's mailbox.
     Clocks are measured host wall seconds.
+``shm``
+    The ``multiprocessing`` driver with a zero-copy shared-memory
+    transport: numpy payloads cross rank boundaries through a slab pool
+    (:mod:`repro.parallel.backends.shm`) as typed wire headers instead
+    of pickles; everything else spills to the queue path unchanged.
 ``mpi4py``
     One MPI rank per process under ``mpiexec``; registered only when
     :mod:`mpi4py` is importable.
@@ -161,6 +166,10 @@ register_backend("virtual", VirtualBackend)
 from .mp import MultiprocessingBackend  # noqa: E402
 
 register_backend("multiprocessing", MultiprocessingBackend)
+
+from .shm import SharedMemoryBackend  # noqa: E402
+
+register_backend("shm", SharedMemoryBackend)
 
 # mpi4py rides along only when the package exists (chainermn-style
 # conditional registration: the import itself stays lazy until first use).

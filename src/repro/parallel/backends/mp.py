@@ -49,6 +49,13 @@ __all__ = ["MultiprocessingBackend"]
 #: declared deadlocked (real transports cannot scan a global wait graph).
 DEFAULT_TIMEOUT = 60.0
 
+#: Default extra seconds (beyond ``timeout``) the parent waits for rank
+#: processes to report back before declaring them hung.
+DEFAULT_GRACE = 30.0
+
+#: Transport counter keys surfaced into the metrics registry.
+_TRANSPORT_METRIC_KEYS = ("bytes_zero_copy", "bytes_pickled", "slab_reuse")
+
 
 class MultiprocessingBackend:
     """Run rank programs on real cores, one forked process per rank."""
@@ -60,9 +67,12 @@ class MultiprocessingBackend:
     measured = True
 
     def __init__(self, nranks: int, machine: MachineModel = SP2_1997,
-                 timeout: float = DEFAULT_TIMEOUT, tracer=None, **_ignored):
+                 timeout: float = DEFAULT_TIMEOUT,
+                 grace: float = DEFAULT_GRACE, tracer=None, **_ignored):
         if nranks < 1:
             raise ValueError(f"need at least one rank, got {nranks}")
+        if grace < 0:
+            raise ValueError(f"grace period must be >= 0, got {grace}")
         import multiprocessing
 
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -73,7 +83,14 @@ class MultiprocessingBackend:
         self.nranks = nranks
         self.machine = machine
         self.timeout = timeout
+        self.grace = float(grace)
         self.tracer = tracer  # wall metrics only; no causal record
+
+    def _make_transport(self, ctx):
+        """Hook for subclasses: build the per-run wire transport (parent
+        side, before forking).  None means payloads pickle through the
+        queues unchanged."""
+        return None
 
     def run(self, program, *args, **kwargs) -> RunResult:
         """Run ``program(comm, *args, **kwargs)`` on every rank.
@@ -86,6 +103,7 @@ class MultiprocessingBackend:
         import multiprocessing
 
         ctx = multiprocessing.get_context("fork")
+        transport = self._make_transport(ctx)
         inboxes = [ctx.Queue() for _ in range(self.nranks)]
         result_q = ctx.Queue()
 
@@ -100,22 +118,23 @@ class MultiprocessingBackend:
             p = ctx.Process(
                 target=_rank_worker,
                 args=(r, self.nranks, self.machine, program, a, kw,
-                      inboxes, result_q, self.timeout),
+                      inboxes, result_q, self.timeout, transport),
                 daemon=True,
             )
             p.start()
             procs.append(p)
 
         results: dict[int, tuple] = {}
-        deadline = time.perf_counter() + self.timeout + 30.0
+        deadline = time.perf_counter() + self.timeout + self.grace
         try:
             while len(results) < self.nranks:
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
                     raise RuntimeError(
-                        f"multiprocessing backend: ranks "
+                        f"{self.name} backend: ranks "
                         f"{sorted(set(range(self.nranks)) - set(results))} "
-                        "did not report back in time"
+                        f"did not report back within timeout + grace "
+                        f"({self.timeout:g}s + {self.grace:g}s)"
                     )
                 try:
                     record = result_q.get(timeout=min(remaining, 1.0))
@@ -124,16 +143,23 @@ class MultiprocessingBackend:
                             if not p.is_alive() and r not in results]
                     if dead:
                         raise RuntimeError(
-                            f"multiprocessing backend: rank processes {dead} "
+                            f"{self.name} backend: rank processes {dead} "
                             "died without reporting a result"
                         ) from None
                     continue
                 if record[0] == "error":
+                    # first rank failure: take the survivors down *now*
+                    # rather than letting them block out their own
+                    # receive timeouts (the finally would get there, but
+                    # only after any queue teardown in between)
+                    for p in procs:
+                        if p.is_alive():
+                            p.terminate()
                     _rank, kind, text = record[1], record[2], record[3]
                     if kind == "deadlock":
                         raise DeadlockError(text)
                     raise RuntimeError(
-                        f"rank {_rank} failed on the multiprocessing "
+                        f"rank {_rank} failed on the {self.name} "
                         f"backend:\n{text}"
                     )
                 results[record[1]] = record[2:]
@@ -146,10 +172,13 @@ class MultiprocessingBackend:
             for q in inboxes:
                 q.close()
                 q.cancel_join_thread()
+            if transport is not None:
+                transport.dispose()
         wall = time.perf_counter() - t0
 
         returns, clocks, waited = [], [], []
         words_s, msgs_s, words_r, msgs_r = [], [], [], []
+        transport_per_rank: list[dict] = []
         for r in range(self.nranks):
             retval, stats = results[r]
             returns.append(retval)
@@ -159,15 +188,36 @@ class MultiprocessingBackend:
             msgs_s.append(stats["msgs_sent"])
             words_r.append(stats["words_recv"])
             msgs_r.append(stats["msgs_recv"])
+            transport_per_rank.append(stats.get("transport", {}))
         makespan = max(clocks) if clocks else 0.0
         busy = [c - w for c, w in zip(clocks, waited)]
         idle = [makespan - b for b in busy]
+        transport_totals = None
+        if transport is not None:
+            transport_totals = {}
+            for d in transport_per_rank:
+                for k, v in d.items():
+                    transport_totals[k] = transport_totals.get(k, 0) + v
+            transport.note_run_totals(transport_totals)
         if self.tracer is not None:
             for r in range(self.nranks):
                 self.tracer.metric(
                     "repro.backend.rank_wall_seconds", clocks[r],
                     kind="counter", rank=r, backend=self.name,
                 )
+            if transport_totals is not None:
+                for key in _TRANSPORT_METRIC_KEYS:
+                    self.tracer.metric(
+                        f"repro.transport.{key}",
+                        transport_totals.get(key, 0),
+                        kind="counter", backend=self.name,
+                    )
+                    for r in range(self.nranks):
+                        self.tracer.metric(
+                            f"repro.transport.{key}",
+                            transport_per_rank[r].get(key, 0),
+                            kind="counter", rank=r, backend=self.name,
+                        )
         return RunResult(
             returns=returns,
             clocks=clocks,
@@ -181,15 +231,16 @@ class MultiprocessingBackend:
             idle_per_rank=idle,
             wall_seconds=wall,
             backend=self.name,
+            transport=transport_totals,
         )
 
 
 def _rank_worker(rank, size, machine, program, args, kwargs,
-                 inboxes, result_q, timeout):
+                 inboxes, result_q, timeout, transport=None):
     """Child-process entry: drive one rank's generator over the queues."""
     try:
         retval, stats = _drive(rank, size, machine, program, args, kwargs,
-                               inboxes, timeout)
+                               inboxes, timeout, transport)
         result_q.put(("ok", rank, retval, stats))
     except _RecvTimeout as exc:
         result_q.put(("error", rank, "deadlock", str(exc)))
@@ -201,7 +252,8 @@ class _RecvTimeout(RuntimeError):
     pass
 
 
-def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout):
+def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
+           transport=None):
     from ..simcomm import Comm
 
     comm = Comm(rank, size, machine)
@@ -218,6 +270,9 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout):
     seq = 0
     waited = 0.0
     words_sent = msgs_sent = words_recv = msgs_recv = 0
+    if transport is not None:
+        # map shared pages into this rank before the clock starts
+        transport.warmup()
     t0 = time.perf_counter()
 
     def drain_nonblocking():
@@ -241,7 +296,11 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout):
         if isinstance(op, SendOp):
             if not 0 <= op.dest < size:
                 raise ValueError(f"rank {rank}: send to invalid rank {op.dest}")
-            inboxes[op.dest].put((rank, op.tag, op.payload, op.nwords))
+            wire = (
+                op.payload if transport is None
+                else transport.encode(op.payload, op.nwords)
+            )
+            inboxes[op.dest].put((rank, op.tag, wire, op.nwords))
             words_sent += op.nwords
             msgs_sent += 1
         elif isinstance(op, RecvOp):
@@ -267,14 +326,22 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout):
                 msg = mailbox.pop_match(op.source, op.tag)
             words_recv += msg.nwords
             msgs_recv += 1
-            value = (msg.payload, msg.source, msg.tag)
+            payload = (
+                msg.payload if transport is None
+                else transport.decode(msg.payload)
+            )
+            value = (payload, msg.source, msg.tag)
         elif isinstance(op, ProbeOp):
             drain_nonblocking()
             msg = mailbox.pop_match(op.source, op.tag)
             if msg is not None:
                 words_recv += msg.nwords
                 msgs_recv += 1
-                value = (True, (msg.payload, msg.source, msg.tag))
+                payload = (
+                    msg.payload if transport is None
+                    else transport.decode(msg.payload)
+                )
+                value = (True, (payload, msg.source, msg.tag))
             else:
                 value = (False, None)
         elif isinstance(op, (WorkOp, ElapseOp)):
@@ -291,6 +358,8 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout):
         "words_recv": words_recv,
         "msgs_recv": msgs_recv,
     }
+    if transport is not None:
+        stats["transport"] = dict(transport.counters)
     return retval, stats
 
 

@@ -21,7 +21,7 @@ def test_calibrate_payloads_identical_across_backends():
     tracer = Tracer()
     report = calibrate(resolution=3, nproc=2, tracer=tracer)
     assert report.payloads_identical, report.mismatches
-    assert [r.backend for r in report.measured] == ["multiprocessing"]
+    assert [r.backend for r in report.measured] == ["multiprocessing", "shm"]
     ref = report.reference
     for run in report.measured:
         assert np.array_equal(run.edge_marked, ref.edge_marked)
@@ -29,13 +29,19 @@ def test_calibrate_payloads_identical_across_backends():
         assert run.elements_moved == ref.elements_moved
         assert run.final_ne == ref.final_ne
 
+    # the shm run's workload traffic went through the slab transport
+    shm_run = report.measured[1]
+    assert shm_run.transport["msgs_zero_copy"] + shm_run.transport[
+        "msgs_pickled"
+    ] > 0
+
     # obs layer carries measured wall + modelled makespan for both backends
     backends_seen = {
         s.labels_dict["backend"]
         for s in tracer.metrics.samples()
         if s.name == "repro.backend.makespan_seconds"
     }
-    assert backends_seen == {"virtual", "multiprocessing"}
+    assert backends_seen == {"virtual", "multiprocessing", "shm"}
     assert any(
         s.name == "repro.backend.wall_seconds"
         and s.labels_dict["backend"] == "multiprocessing"
@@ -44,6 +50,8 @@ def test_calibrate_payloads_identical_across_backends():
 
     out = format_calibration(report)
     assert "backend 'multiprocessing' vs 'virtual'" in out
+    assert "backend 'shm' vs 'virtual'" in out
+    assert "pickle vs zero-copy (measured host wall" in out
     assert "payloads: identical across backends" in out
     for phase in PHASES:
         assert phase in out

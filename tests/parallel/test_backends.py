@@ -22,6 +22,7 @@ class TestRegistry:
         names = available_backends()
         assert "virtual" in names
         assert "multiprocessing" in names
+        assert "shm" in names
 
     def test_mpi4py_registered_iff_importable(self):
         importable = importlib.util.find_spec("mpi4py") is not None
@@ -142,6 +143,41 @@ class TestMultiprocessingBackend:
     def test_rejects_zero_ranks(self):
         with pytest.raises(ValueError, match="at least one rank"):
             create_communicator("multiprocessing", 0)
+
+    def test_rejects_negative_grace(self):
+        with pytest.raises(ValueError, match="grace period must be >= 0"):
+            create_communicator("multiprocessing", 2, grace=-1.0)
+
+    def test_rank_error_tears_down_survivors_immediately(self):
+        import time
+
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("fail fast")
+            # would block out the full 60s receive timeout if the parent
+            # waited for it instead of terminating on the first error
+            yield from comm.recv(source=1, tag=9)
+
+        comm = create_communicator("multiprocessing", 2, timeout=60.0,
+                                   grace=60.0)
+        t0 = time.perf_counter()
+        with pytest.raises(RuntimeError, match="rank 1"):
+            comm.run(prog)
+        assert time.perf_counter() - t0 < 20.0
+
+    def test_unreported_hang_hits_the_grace_deadline(self):
+        import time
+
+        def prog(comm):
+            time.sleep(30.0)  # stuck outside any receive: never reports
+            yield from comm.barrier()
+
+        comm = create_communicator("multiprocessing", 1, timeout=0.4,
+                                   grace=0.4)
+        t0 = time.perf_counter()
+        with pytest.raises(RuntimeError, match="did not report back"):
+            comm.run(prog)
+        assert time.perf_counter() - t0 < 10.0
 
 
 class TestRecordBackendRun:
