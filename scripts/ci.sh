@@ -35,15 +35,35 @@ echo "report smoke: OK"
 # identical to the virtual backend's on every measured backend (queue
 # pickling and zero-copy slabs), under a hard timeout so a hung rank
 # process fails CI instead of wedging it.  --fit exercises the machine-
-# constant regression on the measured walls.
+# constant regression on the measured walls; --trace-out exercises the
+# measured (v4) tracing layer end to end.
 timeout 300 env PYTHONPATH=src python -m repro calibrate 4 --nproc 4 --fit \
-    > "$tmp/calibrate.txt"
+    --trace-out "$tmp/cal.jsonl" > "$tmp/calibrate.txt"
 grep -q "backend 'multiprocessing' vs 'virtual'" "$tmp/calibrate.txt"
 grep -q "backend 'shm' vs 'virtual'" "$tmp/calibrate.txt"
 grep -q "pickle vs zero-copy (measured host wall" "$tmp/calibrate.txt"
 grep -q "payloads: identical across backends" "$tmp/calibrate.txt"
 grep -q "fitted machine constants" "$tmp/calibrate.txt"
+grep -q "clock alignment per measured run" "$tmp/calibrate.txt"
 echo "real-backend smoke: OK"
+
+# measured-trace smoke: the calibrate trace carries wall-clock causal
+# runs; the report and critical-path commands must render them, and the
+# wall diff against the (virtual-only) step trace must degrade with a
+# notice instead of failing.
+timeout 120 env PYTHONPATH=src python -m repro report "$tmp/cal.jsonl" \
+    --format ascii > "$tmp/cal_report.txt"
+grep -q "Per-rank traffic (measured, wall clock)" "$tmp/cal_report.txt"
+grep -q "Transport counters (shm)" "$tmp/cal_report.txt"
+grep -q "Measured critical path (wall clock)" "$tmp/cal_report.txt"
+timeout 120 env PYTHONPATH=src python -m repro critical-path \
+    "$tmp/cal.jsonl" --clock wall > "$tmp/cal_cpath.txt"
+grep -q "wall seconds" "$tmp/cal_cpath.txt"
+timeout 120 env PYTHONPATH=src python -m repro diff "$tmp/step.jsonl" \
+    "$tmp/cal.jsonl" --clock wall > "$tmp/cal_diff.txt" 2> "$tmp/cal_diff_err.txt"
+grep -q "carries no measured" "$tmp/cal_diff_err.txt"
+grep -q "makespan" "$tmp/cal_diff.txt"
+echo "measured-trace smoke: OK"
 
 # MPI lane: the same rank programs under mpiexec, when an MPI stack is
 # installed; skipped cleanly (not failed) on hosts without one.

@@ -3,7 +3,7 @@
 
 Runs ``python -m repro step --trace-out`` on a tiny mesh (resolution 4,
 a few hundred elements — seconds of wall time), then validates the
-emitted JSONL against the ``repro.obs/v3`` schema and sanity-checks the
+emitted JSONL against the ``repro.obs/v4`` schema and sanity-checks the
 span tree: the step must contain marking/subdivision spans and the root
 span's virtual duration must equal the sum of its phase leaves.  The
 trace must carry labelled metric samples and a causal record whose
@@ -12,10 +12,14 @@ Chrome export must carry flow events for the delivered messages, and
 ``repro report`` / ``repro critical-path`` / ``repro diff`` must all
 render from the file alone.
 
-A second pass runs ``repro calibrate`` (virtual + multiprocessing
+A second pass runs ``repro calibrate`` (virtual + the real mp/shm
 backends on the exec-phase workload) with ``--trace-out`` and checks
-that backend runs still emit schema-valid traces carrying both the
-modelled makespans and the measured wall clocks.
+that backend runs emit schema-valid traces carrying both the modelled
+makespans and the measured wall clocks — including the v4 measured
+layer: clock-alignment records, wall-clock causal runs whose critical
+path matches the rank makespan within the recorded skew bound, the
+measured report/critical-path renderings, and ``repro diff``'s graceful
+degradation when one trace lacks measured runs.
 
 Exit status 0 on success, 1 with a diagnostic on any failure.
 
@@ -203,12 +207,79 @@ def main() -> int:
         ):
             if needed not in clocks:
                 return fail(f"backend trace lacks {needed}; got {clocks}")
+        if "clock alignment per measured run" not in proc.stdout:
+            return fail("calibrate did not print the clock-skew table")
+
+        # v4 measured layer: the real-backend runs must have recorded
+        # clock-aligned wall causal runs under their phase spans
+        from repro.obs.causal import runs_from_tracer
+
+        if bsummary.get("clocks", 0) == 0:
+            return fail("backend trace carries no clock-alignment records")
+        wall_runs = runs_from_tracer(btracer, clock="wall")
+        if not wall_runs:
+            return fail("backend trace carries no measured (wall) runs")
+        phases = {r.phase for r in wall_runs}
+        if not phases & {"mark", "refine", "migrate", "gather"}:
+            return fail(f"measured runs lost their phase names: {phases}")
+        if any(r.skew <= 0.0 for r in wall_runs):
+            return fail("a measured run carries no skew bound")
+        try:
+            verify_makespans(btracer)  # wall paths within skew of rank max
+        except AssertionError as exc:
+            return fail(f"measured makespan identity violated: {exc}")
+
+        # the measured sections must render from the file alone
+        cmd = [sys.executable, "-m", "repro", "report", bjsonl,
+               "--format", "ascii"]
+        proc = subprocess.run(
+            cmd, env=env, cwd=REPO, capture_output=True, text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            return fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                        f"{proc.stdout}\n{proc.stderr}")
+        for needle in ("Per-rank traffic (measured, wall clock)",
+                       "Transport counters (shm)",
+                       "Measured critical path (wall clock)"):
+            if needle not in proc.stdout:
+                return fail(f"measured report omits {needle!r}")
+
+        cmd = [sys.executable, "-m", "repro", "critical-path", bjsonl,
+               "--clock", "wall"]
+        proc = subprocess.run(
+            cmd, env=env, cwd=REPO, capture_output=True, text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            return fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                        f"{proc.stdout}\n{proc.stderr}")
+        if "wall seconds" not in proc.stdout:
+            return fail("measured critical path is not on the wall clock")
+
+        # diff degrades gracefully when one trace lacks measured runs:
+        # one-line notice on stderr, comparison still rendered
+        cmd = [sys.executable, "-m", "repro", "diff", jsonl, bjsonl,
+               "--clock", "wall"]
+        proc = subprocess.run(
+            cmd, env=env, cwd=REPO, capture_output=True, text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            return fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                        f"{proc.stdout}\n{proc.stderr}")
+        if "carries no measured" not in proc.stderr:
+            return fail("wall diff against a virtual-only trace printed "
+                        "no degradation notice")
+        if "makespan" not in proc.stdout:
+            return fail("degraded diff rendered no comparison at all")
 
     print(f"smoke_trace: OK ({summary['spans']} spans, "
           f"{summary['events']} events, {summary['metrics']} metrics, "
           f"{summary['nodes']} causal nodes, {summary['msgs']} msgs, "
           f"{summary['counters']} counters, {len(cycles)} cycle(s); "
-          f"makespan identity on {nruns} vm run(s))")
+          f"makespan identity on {nruns} vm run(s); "
+          f"{len(wall_runs)} measured wall run(s) within skew)")
     return 0
 
 

@@ -20,12 +20,14 @@ calibrate [RESOLUTION]
     against the LogGP-modelled virtual seconds phase by phase.
 critical-path TRACE.jsonl
     Reconstruct the happens-before DAG from an exported trace and print
-    the virtual-time critical path: makespan attribution by
-    (phase, kind), the top path segments, and per-cycle stragglers.
+    the critical path: makespan attribution by (phase, kind), the top
+    path segments, and per-cycle stragglers.  Virtual-time and measured
+    wall-clock paths are both printed when the trace carries them
+    (``--clock`` pins one).
 diff A.jsonl B.jsonl
     Compare two traces' critical-path compositions — e.g. a greedy run
     against an MWBG run — and report which phase segments account for
-    the makespan delta.
+    the makespan delta (``--clock wall`` compares measured runs).
 scale [--ranks P ...]
     Weak-scaling sweep of the virtual-machine scheduler itself: run the
     fig6-style execution phase (compute, halo exchange, convergence
@@ -42,7 +44,7 @@ Tracing
 -------
 ``report`` and ``step`` accept ``--trace-out PATH`` to export the run's
 phase spans, events, metrics, counters, and causal message DAG as JSONL
-(schema ``repro.obs/v3``) and ``--chrome-out PATH`` to additionally
+(schema ``repro.obs/v4``) and ``--chrome-out PATH`` to additionally
 write a Chrome-trace JSON that ``chrome://tracing`` or
 https://ui.perfetto.dev can open (message sends render as flow arrows).
 Feed the JSONL back to ``report`` for the dashboard, or to
@@ -66,7 +68,7 @@ def _build_parser() -> argparse.ArgumentParser:
     def add_tracing(p):
         p.add_argument(
             "--trace-out", metavar="PATH", default=None,
-            help="export phase spans/metrics/counters as JSONL (repro.obs/v2)",
+            help="export phase spans/metrics/counters as JSONL (repro.obs/v4)",
         )
         p.add_argument(
             "--chrome-out", metavar="PATH", default=None,
@@ -136,10 +138,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "critical-path",
         help="critical-path / straggler breakdown of an exported trace",
     )
-    p_cp.add_argument("trace", help="trace .jsonl path (repro.obs/v3)")
+    p_cp.add_argument("trace", help="trace .jsonl path (repro.obs/v4)")
     p_cp.add_argument(
         "--top", type=int, default=10,
         help="number of critical-path segments to list",
+    )
+    p_cp.add_argument(
+        "--clock", default="auto", choices=("auto", "virtual", "wall"),
+        help="which timeline to analyse: modelled virtual time, measured "
+             "wall time, or both when present (default: auto)",
     )
 
     p_diff = sub.add_parser(
@@ -151,6 +158,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument(
         "--top", type=int, default=15,
         help="number of (phase, kind) rows to list",
+    )
+    p_diff.add_argument(
+        "--clock", default="virtual", choices=("virtual", "wall"),
+        help="compare modelled virtual-time paths (default) or measured "
+             "wall-clock paths",
     )
 
     p_scale = sub.add_parser(
@@ -302,6 +314,12 @@ def _cmd_calibrate(args) -> int:
         print()
         print(format_fits(fit_calibration(report)))
     if tracer is not None:
+        from repro.obs.wallclock import format_clock_skew
+
+        skew_table = format_clock_skew(tracer)
+        if skew_table:
+            print()
+            print(skew_table)
         _export(tracer, args.trace_out, args.chrome_out)
     return 0 if report.payloads_identical else 1
 
@@ -323,11 +341,29 @@ def _cmd_critical_path(args) -> int:
     tracer = _read_trace(args.trace)
     if tracer is None:
         return 2
-    analysis = analyze(tracer)
-    if not analysis.runs and not analysis.supersteps:
-        print(f"note: {args.trace} carries no causal records "
-              "(re-export with schema repro.obs/v3)", file=sys.stderr)
-    print(format_critical_path(analysis, top=args.top))
+    virtual = analyze(tracer) if args.clock in ("auto", "virtual") else None
+    wall = analyze(tracer, clock="wall") if args.clock in ("auto", "wall") \
+        else None
+    if wall is not None and not wall.runs:
+        if args.clock == "wall":
+            print(f"note: {args.trace} carries no measured (wall-clock) "
+                  "runs; run the workload on a real backend with tracing "
+                  "enabled", file=sys.stderr)
+        else:
+            wall = None  # auto: nothing measured to show
+    if virtual is not None and not virtual.runs and not virtual.supersteps:
+        if args.clock == "virtual" or wall is None:
+            print(f"note: {args.trace} carries no causal records "
+                  "(re-export with schema repro.obs/v3 or later)",
+                  file=sys.stderr)
+        else:
+            virtual = None  # auto: measured-only trace
+    shown = [a for a in (virtual, wall) if a is not None]
+    for i, analysis in enumerate(shown):
+        if i:
+            print()
+            print("measured (wall clock):")
+        print(format_critical_path(analysis, top=args.top))
     return 0
 
 
@@ -340,11 +376,23 @@ def _cmd_diff(args) -> int:
     tracer_b = _read_trace(args.trace_b)
     if tracer_a is None or tracer_b is None:
         return 2
-    d = diff(analyze(tracer_a), analyze(tracer_b))
+    clock = args.clock
+    analysis_a = analyze(tracer_a, clock=clock) if clock == "wall" \
+        else analyze(tracer_a)
+    analysis_b = analyze(tracer_b, clock=clock) if clock == "wall" \
+        else analyze(tracer_b)
     label_a = os.path.basename(args.trace_a)
     label_b = os.path.basename(args.trace_b)
     if label_a == label_b:
         label_a, label_b = args.trace_a, args.trace_b
+    what = ("measured (wall-clock) runs" if clock == "wall"
+            else "causal records")
+    for label, analysis in ((label_a, analysis_a), (label_b, analysis_b)):
+        if not analysis.runs and not analysis.supersteps:
+            print(f"note: {label} carries no {what}; its side of the "
+                  "comparison is empty and only the other trace's "
+                  "composition is shown", file=sys.stderr)
+    d = diff(analysis_a, analysis_b)
     print(format_diff(d, label_a=label_a, label_b=label_b, top=args.top))
     return 0
 

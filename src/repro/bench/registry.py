@@ -182,6 +182,41 @@ def _bench_ext_transport_throughput(resolution: int) -> dict:
     return extra
 
 
+def _bench_ext_tracing_overhead(resolution: int) -> dict:
+    """Measured-tracing recorder overhead on the fig6 mp workload.
+
+    Runs the exec-phase pipeline on the ``multiprocessing`` backend with
+    and without a tracer installed (the tracer turns on the per-rank
+    ``WallRecorder``, the clock handshake, and the merge/emit tail) and
+    records the median host wall of each mode plus their ratio.  The
+    tracked expectation is single-digit-percent ``overhead_ratio``: the
+    recorder itself is a handful of list appends per op and the clock
+    handshake runs after the program, so the remaining cost is the
+    post-run probe rounds and the merge — a few milliseconds per run,
+    fully serialized only on single-core hosts where nothing overlaps.
+    """
+    from statistics import median
+
+    from repro.experiments.calibrate import run_exec_phase_workload
+    from repro.obs import Tracer
+
+    repeats = 3 if resolution < 6 else 5
+
+    def total_wall(tracer) -> float:
+        res = run_exec_phase_workload(
+            resolution, 4, "multiprocessing", tracer=tracer
+        )
+        return sum(p.host_wall for p in res.phases)
+
+    plain = median(total_wall(None) for _ in range(repeats))
+    traced = median(total_wall(Tracer()) for _ in range(repeats))
+    return {
+        "plain_wall_seconds": round(plain, 4),
+        "traced_wall_seconds": round(traced, 4),
+        "overhead_ratio": round(traced / plain, 3) if plain > 0 else 0.0,
+    }
+
+
 def _bench_ext_partitioners(resolution: int) -> dict:
     from repro.core.dualgraph import DualGraph
     from repro.experiments.sweep import case_for
@@ -217,6 +252,11 @@ BENCHES: dict[str, Bench] = {
             "ext_transport_throughput",
             "Extension — real-core wire throughput, pickle vs zero-copy",
             _bench_ext_transport_throughput,
+        ),
+        Bench(
+            "ext_tracing_overhead",
+            "Extension — measured-tracing recorder overhead on the mp backend",
+            _bench_ext_tracing_overhead,
         ),
         Bench(
             "ext_partitioners",

@@ -115,7 +115,13 @@ def run_exec_phase_workload(
 
     def timed(phase, fn):
         t0 = time.perf_counter()
-        out = fn()
+        if tracer is not None:
+            # Named span so measured runs land under a phase the trace
+            # tooling (skew table, critical path, report) can attribute.
+            with tracer.phase(phase, kind="compute", backend=backend):
+                out = fn()
+        else:
+            out = fn()
         host_wall = time.perf_counter() - t0
         phases.append(PhaseRun(phase, backend, _makespan(out), host_wall))
         if tracer is not None:

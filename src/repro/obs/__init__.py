@@ -20,8 +20,15 @@ becomes a :class:`~repro.obs.causal.CausalNode` and every message a
 :class:`~repro.obs.causal.CausalMsg`, from which :func:`analyze`
 reconstructs the virtual-time critical path, per-rank slack, and
 straggler rankings (``repro critical-path`` / ``repro diff``).
+Measured backends (``multiprocessing``/``shm``/``mpi4py``) record the
+same DAG in *wall* seconds: a per-rank :class:`WallRecorder` logs every
+send/recv/probe/work segment on ``perf_counter``, a clock handshake
+estimates per-rank offsets (:class:`ClockRecord`), and
+:func:`merge_streams` aligns the streams onto one timeline so
+``analyze(tracer, clock="wall")`` yields a measured critical path next
+to the modelled one.
 :mod:`repro.obs.export` serialises a tracer to JSONL (one record per
-line, schema ``repro.obs/v3``; v1/v2 files remain readable) and to the
+line, schema ``repro.obs/v4``; v1–v3 files remain readable) and to the
 Chrome trace-event format that ``chrome://tracing`` / Perfetto can open
 directly — including flow-event arrows for every delivered message.
 :mod:`repro.obs.report` turns a trace file into an ASCII dashboard or a
@@ -50,6 +57,7 @@ from .causal import (
     verify_makespans,
 )
 from .metrics import KINDS, MetricSample, MetricsRegistry
+from .wallclock import ClockRecord, WallRecorder, merge_streams
 from .tracer import (
     PointEvent,
     Span,
@@ -74,6 +82,7 @@ __all__ = [
     "CausalMsg",
     "CausalNode",
     "CausalRun",
+    "ClockRecord",
     "CriticalPath",
     "KINDS",
     "MetricSample",
@@ -86,6 +95,7 @@ __all__ = [
     "TraceAnalysis",
     "TraceDiff",
     "Tracer",
+    "WallRecorder",
     "analyze",
     "critical_path",
     "current_tracer",
@@ -95,6 +105,7 @@ __all__ = [
     "format_critical_path",
     "format_diff",
     "maybe_phase",
+    "merge_streams",
     "phase_virtual_times",
     "rank_stats",
     "read_jsonl",

@@ -110,7 +110,16 @@ class CausalMsg:
 
 @dataclass
 class CausalRun:
-    """One VM run's causal record, placed on the trace's virtual timeline."""
+    """One VM run's causal record, placed on the trace's timeline.
+
+    Virtual runs (``clock="virtual"``) use the modelled clock and a
+    ``base`` in trace virtual seconds.  Measured runs (``clock="wall"``,
+    recorded by the real-core backends via :mod:`repro.obs.wallclock`)
+    use aligned host wall seconds; their ``base`` is the raw parent
+    ``perf_counter`` at the merged time zero, and they carry the
+    alignment bookkeeping (``rank_makespan``, ``skew``) the measured
+    makespan check needs.
+    """
 
     id: int
     base: float  #: trace virtual time at which the run started
@@ -120,6 +129,9 @@ class CausalRun:
     msgs: list[CausalMsg]
     cycle: int | None = None
     phase: str | None = None  #: name of the span the run executed under
+    clock: str = "virtual"  #: "virtual" (modelled) or "wall" (measured)
+    rank_makespan: float | None = None  #: max own-clock rank duration (wall)
+    skew: float = 0.0  #: clock-alignment error bound for wall runs
 
 
 @dataclass(frozen=True)
@@ -205,6 +217,7 @@ class TraceAnalysis:
     stragglers: dict[int | None, list[tuple[int, float]]] = field(
         default_factory=dict
     )  #: cycle -> [(rank, on-path seconds) ...], worst first
+    clock: str = "virtual"  #: which clock this analysis ran on
 
     def by_kind(self) -> dict[str, float]:
         out: dict[str, float] = {}
@@ -251,8 +264,15 @@ def run_from_result(result, run_id: int = 0, base: float = 0.0,
     )
 
 
-def runs_from_tracer(tracer) -> list[CausalRun]:
-    """All VM runs recorded in a tracer, via its ``vm.run`` marker events."""
+def runs_from_tracer(tracer, clock: str = "virtual") -> list[CausalRun]:
+    """All VM runs recorded in a tracer, via its ``vm.run`` marker events.
+
+    ``clock`` selects which runs: ``"virtual"`` (the default — modelled
+    runs, including every run of traces that predate measured tracing)
+    or ``"wall"`` (measured runs from the real-core backends).  The two
+    kinds never mix in one list: wall bases are raw ``perf_counter``
+    epochs and would corrupt virtual-timeline placement.
+    """
     nodes_by_run: dict[int, list[CausalNode]] = {}
     msgs_by_run: dict[int, list[CausalMsg]] = {}
     for n in getattr(tracer, "causal_nodes", ()):
@@ -262,6 +282,8 @@ def runs_from_tracer(tracer) -> list[CausalRun]:
     runs = []
     for ev in tracer.events:
         if ev.name != "vm.run":
+            continue
+        if ev.attrs.get("clock", "virtual") != clock:
             continue
         rid = ev.attrs["run"]
         phase = None
@@ -277,6 +299,9 @@ def runs_from_tracer(tracer) -> list[CausalRun]:
                 msgs=sorted(msgs_by_run.get(rid, []), key=lambda m: m.id),
                 cycle=ev.attrs.get("cycle"),
                 phase=phase,
+                clock=clock,
+                rank_makespan=ev.attrs.get("rank_makespan"),
+                skew=ev.attrs.get("skew", 0.0),
             )
         )
     runs.sort(key=lambda r: r.id)
@@ -476,13 +501,23 @@ def _supersteps_from_tracer(tracer) -> list[Superstep]:
     return steps
 
 
-def _covering_phase(tracer, t: float) -> str:
-    """Name of the deepest closed span whose virtual interval covers ``t``."""
+def _covering_phase(tracer, t: float, clock: str = "virtual",
+                    epoch: float = 0.0) -> str:
+    """Name of the deepest closed span whose interval covers ``t``.
+
+    On the virtual clock, span virtual intervals are compared directly;
+    on the wall clock, span wall intervals are re-zeroed on ``epoch``
+    (the earliest measured timestamp of the trace) first.
+    """
     best = None
     for s in tracer.spans:
         if s.open or s.v_end is None:
             continue
-        if s.v_start <= t <= s.v_end:
+        if clock == "wall":
+            t0, t1 = s.wall_start - epoch, s.wall_end - epoch
+        else:
+            t0, t1 = s.v_start, s.v_end
+        if t0 <= t <= t1:
             if best is None or s.depth > best.depth:
                 best = s
     return best.name if best is not None else "(untracked)"
@@ -503,30 +538,47 @@ def _merge_push(segments: list[Segment], seg: Segment) -> None:
         segments.append(seg)
 
 
-def analyze(tracer) -> TraceAnalysis:
-    """Attribute a whole trace's virtual time to (phase, rank, kind).
+def analyze(tracer, clock: str = "virtual") -> TraceAnalysis:
+    """Attribute a whole trace's time to (phase, rank, kind).
 
-    VM runs contribute their critical-path steps (exact); ledger
-    supersteps contribute their bottleneck rank's work/comm split; any
-    virtual time not covered by either is framework time, attributed to
-    the deepest enclosing span.  The segment list covers ``[0, makespan]``
-    in time order with no overlaps.
+    On the default virtual clock, VM runs contribute their critical-path
+    steps (exact); ledger supersteps contribute their bottleneck rank's
+    work/comm split; any virtual time not covered by either is framework
+    time, attributed to the deepest enclosing span.  The segment list
+    covers ``[0, makespan]`` in time order with no overlaps.
+
+    With ``clock="wall"`` the same attribution runs over the *measured*
+    runs recorded by the real-core backends: run bases and span
+    intervals are host wall seconds re-zeroed on the trace's earliest
+    measured timestamp, and ledger supersteps (virtual-only records) are
+    excluded.  The virtual analysis of a trace is byte-identical whether
+    or not measured runs are present.
     """
-    runs = runs_from_tracer(tracer)
+    wall = clock == "wall"
+    runs = runs_from_tracer(tracer, clock=clock)
     paths = {r.id: critical_path(r) for r in runs}
     stats = {r.id: rank_stats(r, paths[r.id]) for r in runs}
-    supersteps = _supersteps_from_tracer(tracer)
+    supersteps = [] if wall else _supersteps_from_tracer(tracer)
+
+    epoch = 0.0
+    if wall:
+        epoch = min(
+            [r.base for r in runs]
+            + [s.wall_start for s in tracer.spans if not s.open],
+            default=0.0,
+        )
 
     covered: list[Segment] = []
     for run in runs:
         phase = run.phase or "vm"
+        base = run.base - epoch if wall else run.base
         for s in paths[run.id].steps:
             if s.seconds <= 0.0:
                 continue
             _merge_push(
                 covered,
                 Segment(phase, s.node.rank, s.kind,
-                        run.base + s.node.t_start, run.base + s.node.t_end),
+                        base + s.node.t_start, base + s.node.t_end),
             )
     for ss in supersteps:
         b = ss.bottleneck
@@ -537,10 +589,18 @@ def analyze(tracer) -> TraceAnalysis:
         if ss.t1 > split:
             covered.append(Segment(ss.phase, b, "comm", split, ss.t1))
 
-    span_end = max(
-        (s.v_end for s in tracer.spans if not s.open and s.v_end is not None),
-        default=0.0,
-    )
+    if wall:
+        span_end = max(
+            (s.wall_end - epoch for s in tracer.spans
+             if not s.open and s.wall_end is not None),
+            default=0.0,
+        )
+    else:
+        span_end = max(
+            (s.v_end for s in tracer.spans
+             if not s.open and s.v_end is not None),
+            default=0.0,
+        )
     makespan = max([span_end] + [seg.t1 for seg in covered])
 
     covered.sort(key=lambda seg: (seg.t0, seg.t1))
@@ -548,7 +608,8 @@ def analyze(tracer) -> TraceAnalysis:
     cursor = 0.0
     for seg in covered:
         if seg.t0 > cursor:
-            phase = _covering_phase(tracer, (cursor + seg.t0) / 2.0)
+            phase = _covering_phase(tracer, (cursor + seg.t0) / 2.0,
+                                    clock=clock, epoch=epoch)
             _merge_push(segments, Segment(phase, None, "work", cursor, seg.t0))
         if seg.t1 <= cursor:
             continue  # fully shadowed by an earlier segment
@@ -556,7 +617,8 @@ def analyze(tracer) -> TraceAnalysis:
         _merge_push(segments, Segment(seg.phase, seg.rank, seg.kind, t0, seg.t1))
         cursor = seg.t1
     if makespan > cursor:
-        phase = _covering_phase(tracer, (cursor + makespan) / 2.0)
+        phase = _covering_phase(tracer, (cursor + makespan) / 2.0,
+                                clock=clock, epoch=epoch)
         _merge_push(segments, Segment(phase, None, "work", cursor, makespan))
 
     by_phase_kind: dict[tuple[str, str], float] = {}
@@ -590,17 +652,23 @@ def analyze(tracer) -> TraceAnalysis:
         segments=segments,
         by_phase_kind=by_phase_kind,
         stragglers=ranked,
+        clock=clock,
     )
 
 
 def verify_makespans(tracer) -> int:
     """Check the causal record against the recorded run results.
 
-    For every VM run in the trace, assert that the critical-path length
-    equals the run's makespan *bit-for-bit* and that at least one rank has
-    zero slack.  Returns the number of runs verified.
+    For every *virtual* VM run in the trace, assert that the
+    critical-path length equals the run's makespan *bit-for-bit* and
+    that at least one rank has zero slack.  For every *measured* run
+    (``clock="wall"``), the path length must still equal the merged
+    makespan exactly, and must additionally match the measured per-rank
+    makespan to within the recorded clock-skew bound (barrier-release
+    spread plus twice the worst handshake uncertainty).  Returns the
+    number of runs verified.
     """
-    runs = runs_from_tracer(tracer)
+    runs = runs_from_tracer(tracer) + runs_from_tracer(tracer, clock="wall")
     for run in runs:
         path = critical_path(run)
         if path.length != run.makespan:
@@ -608,6 +676,15 @@ def verify_makespans(tracer) -> int:
                 f"run {run.id} ({run.phase}): critical-path length "
                 f"{path.length!r} != makespan {run.makespan!r}"
             )
+        if run.clock == "wall" and run.rank_makespan is not None:
+            bound = max(run.skew, 1e-9)
+            if abs(path.length - run.rank_makespan) > bound:
+                raise AssertionError(
+                    f"run {run.id} ({run.phase}): wall critical-path "
+                    f"length {path.length!r} is further than the skew "
+                    f"bound {bound!r} from the measured rank makespan "
+                    f"{run.rank_makespan!r}"
+                )
         if run.nodes:
             stats = rank_stats(run, path)
             if not any(st.slack == 0.0 for st in stats):
@@ -647,8 +724,9 @@ def _fmt_s(v: float) -> str:
 
 def format_critical_path(analysis: TraceAnalysis, top: int = 10) -> str:
     """ASCII breakdown: (phase, kind) attribution, top segments, stragglers."""
+    unit = "wall" if analysis.clock == "wall" else "virtual"
     lines = [
-        f"makespan: {_fmt_s(analysis.makespan)} virtual seconds "
+        f"makespan: {_fmt_s(analysis.makespan)} {unit} seconds "
         f"({len(analysis.runs)} vm runs, "
         f"{len(analysis.supersteps)} ledger supersteps)",
     ]

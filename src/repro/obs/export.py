@@ -1,16 +1,18 @@
 """Serialise a :class:`~repro.obs.tracer.Tracer` to JSONL and Chrome trace.
 
-JSONL schema (``repro.obs/v3``)
+JSONL schema (``repro.obs/v4``)
 -------------------------------
 One JSON object per line.  The first line is the meta record; every other
-line is a span, event, metric, node, msg, counter, or gauge record:
+line is a span, event, metric, node, msg, clock, counter, or gauge record:
 
-``{"type": "meta", "schema": "repro.obs/v3", "spans": N, "events": M,
-"counters": C, "gauges": G, "metrics": K, "nodes": D, "msgs": S}``
+``{"type": "meta", "schema": "repro.obs/v4", "spans": N, "events": M,
+"counters": C, "gauges": G, "metrics": K, "nodes": D, "msgs": S,
+"clocks": W}``
     Header; the counts must match the number of records that follow.
     v1 files (schema ``repro.obs/v1``, no ``metrics`` count, no ``metric``
-    records) and v2 files (schema ``repro.obs/v2``, no ``nodes``/``msgs``
-    counts, no causal records) are still accepted by
+    records), v2 files (schema ``repro.obs/v2``, no ``nodes``/``msgs``
+    counts, no causal records), and v3 files (schema ``repro.obs/v3``,
+    no ``clocks`` count, no clock records) are still accepted by
     :func:`read_jsonl`/:func:`validate_jsonl`.
 
 ``{"type": "span", "index": int, "parent": int|null, "depth": int >= 0,
@@ -42,6 +44,13 @@ line is a span, event, metric, node, msg, counter, or gauge record:
     One virtual-machine message, linking its send node to the recv/probe
     node that consumed it (``recv_node`` is null if never consumed).
 
+``{"type": "clock", "run": int, "rank": int, "offset": float,
+"skew": float >= 0}``
+    How one rank's wall clock was aligned for one *measured* run (a
+    ``vm.run`` event with ``clock="wall"``): the offset subtracted from
+    that rank's ``perf_counter`` stream and the estimation uncertainty.
+    See :mod:`repro.obs.wallclock`.
+
 ``{"type": "counter"|"gauge", "name": str, "value": number}``
     Legacy flat counters/gauges (no labels, cycle, or rank).
 
@@ -54,6 +63,9 @@ Causal nodes render as ``cat: "vm"`` slices on their rank's thread, and
 every delivered message emits a flow-event pair (``ph: "s"`` at the send,
 ``ph: "f"`` at the consuming recv/probe, matching ``id``) so message
 arrows draw between the two threads in chrome://tracing / Perfetto.
+Measured runs (``clock="wall"``) render in a second process ("measured
+wall", pid 1) so their wall timeline never mixes with the virtual one;
+their timestamps are re-zeroed on the earliest measured run base.
 """
 
 from __future__ import annotations
@@ -63,6 +75,7 @@ import json
 from .causal import NODE_KINDS, CausalMsg, CausalNode
 from .metrics import KINDS
 from .tracer import PointEvent, Span, Tracer
+from .wallclock import ClockRecord
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -74,12 +87,13 @@ __all__ = [
     "validate_jsonl",
 ]
 
-SCHEMA_VERSION = "repro.obs/v3"
+SCHEMA_VERSION = "repro.obs/v4"
 
 #: Schemas :func:`read_jsonl`/:func:`validate_jsonl` accept, oldest first
 #: (v1 predates labelled metric records, v2 predates causal node/msg
-#: records; both remain readable).
-SUPPORTED_SCHEMAS = ("repro.obs/v1", "repro.obs/v2", SCHEMA_VERSION)
+#: records, v3 predates measured-run clock records; all remain readable).
+SUPPORTED_SCHEMAS = ("repro.obs/v1", "repro.obs/v2", "repro.obs/v3",
+                     SCHEMA_VERSION)
 
 
 class SchemaError(ValueError):
@@ -90,7 +104,7 @@ class SchemaError(ValueError):
 
 
 def export_jsonl(tracer: Tracer, path) -> int:
-    """Write the tracer to ``path`` in the v3 JSONL schema.
+    """Write the tracer to ``path`` in the v4 JSONL schema.
 
     Open spans are skipped (a trace is exported after the run).  Returns
     the number of records written, including the meta line.
@@ -107,6 +121,7 @@ def export_jsonl(tracer: Tracer, path) -> int:
             "metrics": len(tracer.metrics),
             "nodes": len(tracer.causal_nodes),
             "msgs": len(tracer.causal_msgs),
+            "clocks": len(tracer.clock_records),
         }
     ]
     for s in spans:
@@ -177,6 +192,16 @@ def export_jsonl(tracer: Tracer, path) -> int:
                 "recv_node": m.recv_node,
             }
         )
+    for c in tracer.clock_records:
+        records.append(
+            {
+                "type": "clock",
+                "run": c.run,
+                "rank": c.rank,
+                "offset": c.offset,
+                "skew": c.skew,
+            }
+        )
     for name, value in tracer.counters.items():
         records.append({"type": "counter", "name": name, "value": value})
     for name, value in tracer.gauges.items():
@@ -189,7 +214,7 @@ def export_jsonl(tracer: Tracer, path) -> int:
 
 
 def read_jsonl(path) -> Tracer:
-    """Reconstruct a tracer from a v1/v2/v3 JSONL file (validates on the way)."""
+    """Reconstruct a tracer from a v1-v4 JSONL file (validates on the way)."""
     validate_jsonl(path)
     tracer = Tracer()
     with open(path) as fh:
@@ -256,6 +281,15 @@ def read_jsonl(path) -> Tracer:
                         recv_node=rec["recv_node"],
                     )
                 )
+            elif rec["type"] == "clock":
+                tracer.clock_records.append(
+                    ClockRecord(
+                        run=rec["run"],
+                        rank=rec["rank"],
+                        offset=rec["offset"],
+                        skew=rec["skew"],
+                    )
+                )
             elif rec["type"] == "counter":
                 tracer.counters[rec["name"]] = rec["value"]
             elif rec["type"] == "gauge":
@@ -284,6 +318,8 @@ _REQUIRED = {
              "wait": (int, float)},
     "msg": {"run": int, "id": int, "src": int, "dst": int, "tag": int,
             "nwords": int, "send_node": int},
+    "clock": {"run": int, "rank": int, "offset": (int, float),
+              "skew": (int, float)},
     "counter": {"name": str, "value": (int, float)},
     "gauge": {"name": str, "value": (int, float)},
 }
@@ -320,16 +356,16 @@ def _check_metric(rec, lineno: int) -> None:
 
 
 def validate_jsonl(path) -> dict:
-    """Validate a JSONL trace against the v3 (or legacy v1/v2) schema.
+    """Validate a JSONL trace against the v4 (or legacy v1-v3) schema.
 
     Raises :class:`SchemaError` on the first violation; returns a summary
     ``{"spans": N, "events": M, "counters": C, "gauges": G, "metrics": K,
-    "nodes": D, "msgs": S}`` on success (``metrics`` is 0 for v1 files and
-    ``nodes``/``msgs`` are 0 for v1/v2 files, which may not contain the
-    corresponding records).
+    "nodes": D, "msgs": S, "clocks": W}`` on success (``metrics`` is 0 for
+    v1 files, ``nodes``/``msgs`` are 0 for v1/v2 files, and ``clocks`` is
+    0 for v1-v3 files, which may not contain the corresponding records).
     """
     counts = {"span": 0, "event": 0, "metric": 0, "node": 0, "msg": 0,
-              "counter": 0, "gauge": 0}
+              "clock": 0, "counter": 0, "gauge": 0}
     meta = None
     schema = None
     version = 0
@@ -383,6 +419,8 @@ def validate_jsonl(path) -> dict:
                             raise SchemaError(
                                 f"meta missing integer {key!r} count"
                             )
+                if version >= 4 and not isinstance(rec.get("clocks"), int):
+                    raise SchemaError("meta missing integer 'clocks' count")
                 continue
             if kind == "metric":
                 if version < 2:
@@ -397,11 +435,20 @@ def validate_jsonl(path) -> dict:
                         f"line {lineno}: metric missing 'cycle' or 'rank'"
                     )
                 _check_metric(rec, lineno)
+            if kind == "clock":
+                if version < 4:
+                    raise SchemaError(
+                        f"line {lineno}: clock records require schema "
+                        f"{SCHEMA_VERSION!r}, file declares {schema!r}"
+                    )
+                if rec["skew"] < 0:
+                    raise SchemaError(f"line {lineno}: negative clock skew")
             if kind in ("node", "msg"):
                 if version < 3:
                     raise SchemaError(
                         f"line {lineno}: {kind} records require schema "
-                        f"{SCHEMA_VERSION!r}, file declares {schema!r}"
+                        "'repro.obs/v3' or later, file declares "
+                        f"{schema!r}"
                     )
                 if kind == "node":
                     if rec["kind"] not in NODE_KINDS:
@@ -449,6 +496,8 @@ def validate_jsonl(path) -> dict:
         expected.append(("metric", "metrics"))
     if version >= 3:
         expected.extend([("node", "nodes"), ("msg", "msgs")])
+    if version >= 4:
+        expected.append(("clock", "clocks"))
     for kind, key in expected:
         if counts[kind] != meta[key]:
             raise SchemaError(
@@ -457,7 +506,7 @@ def validate_jsonl(path) -> dict:
     return {"spans": counts["span"], "events": counts["event"],
             "counters": counts["counter"], "gauges": counts["gauge"],
             "metrics": counts["metric"], "nodes": counts["node"],
-            "msgs": counts["msg"]}
+            "msgs": counts["msg"], "clocks": counts["clock"]}
 
 
 # --- Chrome trace ------------------------------------------------------------
@@ -480,16 +529,36 @@ def export_chrome_trace(tracer: Tracer, path) -> int:
         {"ph": "M", "pid": 0, "tid": 0, "name": "thread_name",
          "args": {"name": "framework"}},
     ]
+    # measured runs (clock="wall") render in their own process so the
+    # wall timeline never mixes with the virtual one
+    wall_runs = {
+        e.attrs["run"]
+        for e in tracer.events
+        if e.name == "vm.run" and e.attrs.get("clock") == "wall"
+    }
     ranks = sorted(
         {s.rank for s in tracer.spans if s.rank is not None}
         | {e.rank for e in tracer.events if e.rank is not None}
-        | {n.rank for n in tracer.causal_nodes}
+        | {n.rank for n in tracer.causal_nodes if n.run not in wall_runs}
     )
     for r in ranks:
         events.append(
             {"ph": "M", "pid": 0, "tid": _tid(r), "name": "thread_name",
              "args": {"name": f"rank {r}"}}
         )
+    wall_ranks = sorted(
+        {n.rank for n in tracer.causal_nodes if n.run in wall_runs}
+    )
+    if wall_ranks:
+        events.append(
+            {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+             "args": {"name": "repro measured wall"}}
+        )
+        for r in wall_ranks:
+            events.append(
+                {"ph": "M", "pid": 1, "tid": _tid(r), "name": "thread_name",
+                 "args": {"name": f"rank {r}"}}
+            )
     n = 0
     for s in tracer.spans:
         if s.open:
@@ -528,14 +597,26 @@ def export_chrome_trace(tracer: Tracer, path) -> int:
         for e in tracer.events
         if e.name == "vm.run"
     }
+    # wall-run bases are raw parent perf_counter epochs; re-zero them on
+    # the earliest one so the measured process starts near ts=0
+    wall_epoch = min(
+        (base_of[r] for r in wall_runs if r in base_of), default=0.0
+    )
+
+    def _placement(run: int) -> tuple[int, float]:
+        """(pid, base) placing a run's nodes on its process timeline."""
+        if run in wall_runs:
+            return 1, base_of.get(run, wall_epoch) - wall_epoch
+        return 0, base_of.get(run, 0.0)
+
     nodes_by_run: dict[tuple[int, int], object] = {}
     for nd in tracer.causal_nodes:
         nodes_by_run[(nd.run, nd.id)] = nd
-        base = base_of.get(nd.run, 0.0)
+        pid, base = _placement(nd.run)
         events.append(
             {
                 "ph": "X",
-                "pid": 0,
+                "pid": pid,
                 "tid": _tid(nd.rank),
                 "name": f"vm.{nd.kind}",
                 "cat": "vm",
@@ -553,8 +634,8 @@ def export_chrome_trace(tracer: Tracer, path) -> int:
         recv = nodes_by_run.get((m.run, m.recv_node))
         if send is None or recv is None:
             continue
-        base = base_of.get(m.run, 0.0)
-        common = {"pid": 0, "cat": "vm.msg", "name": "msg", "id": flow}
+        pid, base = _placement(m.run)
+        common = {"pid": pid, "cat": "vm.msg", "name": "msg", "id": flow}
         events.append(
             {**common, "ph": "s", "tid": _tid(send.rank),
              "ts": (base + send.t_end) * _US,

@@ -31,10 +31,18 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 
-__all__ = ["KINDS", "MetricSample", "MetricsRegistry"]
+__all__ = ["KINDS", "RESERVED_LABEL_KEYS", "MetricSample", "MetricsRegistry"]
 
 #: Valid metric kinds, in the order they serialise.
 KINDS = ("counter", "gauge", "histogram")
+
+#: Label keys excluded from the per-name keyset-alignment check: the same
+#: quantity may legitimately exist both as a modelled series (no ``clock``
+#: label) and as a measured one (``clock="wall"``), e.g. ``repro.vm.*``
+#: from the virtual machine and from a real-core backend's recorder.
+#: Queries must still pin the label (``labels={}`` vs
+#: ``labels={"clock": "wall"}``) to keep the two series apart.
+RESERVED_LABEL_KEYS = frozenset({"clock"})
 
 
 @dataclass(frozen=True)
@@ -110,7 +118,7 @@ class MetricsRegistry:
                 f"metric {name!r} is a {bound}, cannot record it as a {kind}"
             )
         frozen = _freeze_labels(labels)
-        keyset = frozenset(k for k, _v in frozen)
+        keyset = frozenset(k for k, _v in frozen) - RESERVED_LABEL_KEYS
         seen = self._labelsets.setdefault(name, keyset)
         if seen != keyset:
             self._warn(

@@ -115,18 +115,51 @@ _LEDGER_COLS = (
     ("words sent", "repro.ledger.words_sent"),
     ("words recv", "repro.ledger.words_recv"),
 )
+#: Measured (clock="wall") mirrors of the VM series, from real backends.
+_VM_WALL_COLS = (
+    ("msgs sent", "repro.vm.messages_sent"),
+    ("msgs recv", "repro.vm.messages_recv"),
+    ("words sent", "repro.vm.words_sent"),
+    ("words recv", "repro.vm.words_recv"),
+    ("busy s", "repro.vm.busy_seconds"),
+    ("idle s", "repro.vm.idle_seconds"),
+    ("wait s", "repro.vm.wait_seconds"),
+)
+_TRANSPORT_COLS = (
+    ("0-copy bytes", "repro.transport.bytes_zero_copy"),
+    ("pickled bytes", "repro.transport.bytes_pickled"),
+    ("0-copy msgs", "repro.transport.msgs_zero_copy"),
+    ("pickled msgs", "repro.transport.msgs_pickled"),
+    ("slab reuse", "repro.transport.slab_reuse"),
+    ("spills", "repro.transport.spills"),
+)
 
 
-def _rank_rows(tracer: Tracer, cols) -> tuple[list[str], list[list]]:
-    """Per-rank table (summed over cycles) for a metric family."""
+def _rank_rows(tracer: Tracer, cols,
+               labels: dict | None = None) -> tuple[list[str], list[list]]:
+    """Per-rank table (summed over cycles) for a metric family.
+
+    ``labels`` pins the label set exactly (``{}`` = unlabelled samples
+    only) — necessary for the ``repro.vm.*`` family, which exists both
+    modelled (no labels) and measured (``clock="wall"``).
+    """
     reg = tracer.metrics
-    per = {label: reg.per_rank(name) for label, name in cols}
+    per = {label: reg.per_rank(name, labels=labels) for label, name in cols}
     ranks = sorted({r for d in per.values() for r in d})
     headers = ["rank"] + [label for label, _ in cols]
     rows = [
         [r] + [per[label].get(r) for label, _ in cols] for r in ranks
     ]
     return headers, rows
+
+
+def _transport_backends(tracer: Tracer) -> list[str]:
+    """Distinct ``backend`` label values carrying transport counters."""
+    out = set()
+    for s in tracer.metrics.samples():
+        if s.name.startswith("repro.transport."):
+            out.add(dict(s.labels).get("backend", ""))
+    return sorted(out)
 
 
 def _top_spans(tracer: Tracer, n: int) -> list:
@@ -150,6 +183,18 @@ def _causal_analysis(tracer: Tracer):
     if not analysis.runs and not analysis.supersteps:
         return None
     return analysis
+
+
+def _wall_analysis(tracer: Tracer):
+    """The measured (``clock="wall"``) analysis, or ``None`` when the
+    trace carries no measured runs (virtual-only traces, v1–v3 files)."""
+    if not any(e.name == "vm.run" and e.attrs.get("clock") == "wall"
+               for e in tracer.events):
+        return None
+    from .causal import analyze
+
+    analysis = analyze(tracer, clock="wall")
+    return analysis if analysis.runs else None
 
 
 def _rank_path_stats(analysis) -> tuple[dict[int, float], dict[int, float]]:
@@ -180,12 +225,19 @@ def render_ascii(tracer: Tracer, source: str = "", top: int = 10) -> str:
         head += f" — {source}"
     parts.append(head)
     parts.append("=" * len(head))
-    parts.append(
+    head_line = (
         f"spans: {sum(1 for s in tracer.spans if not s.open)}   "
         f"events: {len(tracer.events)}   metric samples: {len(reg)}   "
         f"cycles: {len(cycles)}   "
         f"virtual makespan: {_fmt(_makespan(tracer))} s"
     )
+    measured_runs = sum(
+        1 for e in tracer.events
+        if e.name == "vm.run" and e.attrs.get("clock") == "wall"
+    )
+    if measured_runs:
+        head_line += f"   measured runs: {measured_runs}"
+    parts.append(head_line)
 
     if rows:
         parts.append("")
@@ -266,13 +318,40 @@ def render_ascii(tracer: Tracer, source: str = "", top: int = 10) -> str:
 
     for label, cols in (("virtual machine", _VM_COLS),
                         ("cost ledger", _LEDGER_COLS)):
-        headers, rank_rows = _rank_rows(tracer, cols)
+        headers, rank_rows = _rank_rows(tracer, cols, labels={})
         if rank_rows:
             parts.append("")
             parts.append(f"Per-rank traffic ({label}, summed over cycles)")
             parts.append(_table(
                 headers, [[_fmt(c) for c in row] for row in rank_rows]
             ))
+
+    headers, rank_rows = _rank_rows(tracer, _VM_WALL_COLS,
+                                    labels={"clock": "wall"})
+    if rank_rows:
+        parts.append("")
+        parts.append("Per-rank traffic (measured, wall clock)")
+        parts.append(_table(
+            headers, [[_fmt(c) for c in row] for row in rank_rows]
+        ))
+
+    for backend in _transport_backends(tracer):
+        labels = {"backend": backend} if backend else {}
+        headers, rank_rows = _rank_rows(tracer, _TRANSPORT_COLS,
+                                        labels=labels)
+        if not rank_rows:
+            continue
+        totals = ["total"] + [
+            sum(row[i + 1] or 0 for row in rank_rows)
+            for i in range(len(_TRANSPORT_COLS))
+        ]
+        parts.append("")
+        parts.append(f"Transport counters ({backend or 'backend'})")
+        parts.append(_table(
+            headers,
+            [[_fmt(c) for c in row] for row in rank_rows]
+            + [[str(totals[0])] + [_fmt(c) for c in totals[1:]]],
+        ))
 
     analysis = _causal_analysis(tracer)
     if analysis is not None:
@@ -281,6 +360,20 @@ def render_ascii(tracer: Tracer, source: str = "", top: int = 10) -> str:
         parts.append("")
         parts.append("Critical path (from the causal record)")
         parts.append(format_critical_path(analysis, top=top))
+
+    wall = _wall_analysis(tracer)
+    if wall is not None:
+        from .causal import format_critical_path
+
+        parts.append("")
+        parts.append("Measured critical path (wall clock)")
+        parts.append(format_critical_path(wall, top=top))
+        if analysis is not None and analysis.makespan > 0:
+            parts.append("")
+            parts.append(
+                f"measured vs modelled: {_fmt(wall.makespan)} wall s "
+                f"vs {_fmt(analysis.makespan)} virtual s"
+            )
 
     spans = _top_spans(tracer, top)
     if spans:
@@ -472,14 +565,17 @@ _KIND_COLORS = {
 }
 
 
-def _svg_critical_lane(analysis, width: int = 940, height: int = 44) -> str:
+def _svg_critical_lane(analysis, width: int = 940, height: int = 44,
+                       label: str = "path") -> str:
     """One horizontal lane tiling [0, makespan] with the path segments.
 
     Each segment is coloured by its kind (work / comm / idle); the tooltip
     carries the phase, the rank on the path, and the segment's seconds.
+    The lane's clock (virtual or wall) comes from the analysis itself.
     """
     if analysis.makespan <= 0 or not analysis.segments:
         return ""
+    unit = "wall" if analysis.clock == "wall" else "virtual"
     pad_l, pad_r, pad_t = 72, 12, 4
     pw = width - pad_l - pad_r
 
@@ -489,7 +585,7 @@ def _svg_critical_lane(analysis, width: int = 940, height: int = 44) -> str:
     out = [f'<svg viewBox="0 0 {width} {height}" width="{width}" '
            f'height="{height}" role="img">']
     out.append(f'<text x="{pad_l - 6}" y="{pad_t + 14}" '
-               f'text-anchor="end">path</text>')
+               f'text-anchor="end">{_html.escape(label)}</text>')
     for seg in analysis.segments:
         w = max(px(seg.t1) - px(seg.t0), 0.5)
         who = "framework" if seg.rank is None else f"rank {seg.rank}"
@@ -503,7 +599,7 @@ def _svg_critical_lane(analysis, width: int = 940, height: int = 44) -> str:
         )
     out.append(f'<text x="{pad_l}" y="{height - 4}">0 s</text>')
     out.append(f'<text x="{width - pad_r}" y="{height - 4}" '
-               f'text-anchor="end">{_fmt(analysis.makespan)} s (virtual)'
+               f'text-anchor="end">{_fmt(analysis.makespan)} s ({unit})'
                f"</text>")
     out.append("</svg>")
     return "".join(out)
@@ -685,19 +781,33 @@ def render_html(tracer: Tracer, title: str = "repro run report",
         )
 
     analysis = _causal_analysis(tracer)
-    if analysis is not None:
-        lane = _svg_critical_lane(analysis)
+    wall = _wall_analysis(tracer)
+    if analysis is not None or wall is not None:
+        primary = analysis if analysis is not None else wall
+        lane = ""
+        if analysis is not None:
+            lane += _svg_critical_lane(analysis, label="modelled")
+        if wall is not None:
+            # measured-vs-modelled overlay: the wall lane right under the
+            # virtual one, each normalized to its own makespan
+            lane += _svg_critical_lane(wall, label="measured")
+        if analysis is not None and wall is not None:
+            lane += (
+                '<div class="caption">each lane spans its own makespan: '
+                f"modelled {_fmt(analysis.makespan)} virtual s, measured "
+                f"{_fmt(wall.makespan)} wall s</div>"
+            )
         attribution = _html_table(
             ["phase", "kind", "seconds", "share %"],
             [[
                 phase, kind, _fmt(sec),
-                f"{100.0 * sec / (analysis.makespan or 1.0):.1f}",
+                f"{100.0 * sec / (primary.makespan or 1.0):.1f}",
             ] for (phase, kind), sec in sorted(
-                analysis.by_phase_kind.items(), key=lambda kv: -kv[1]
+                primary.by_phase_kind.items(), key=lambda kv: -kv[1]
             )],
         )
         body = _legend(list(_KIND_COLORS)) + lane + attribution
-        on_path, slack = _rank_path_stats(analysis)
+        on_path, slack = _rank_path_stats(primary)
         if on_path:
             body += (
                 "<h2>Seconds on the critical path, per rank</h2>"
@@ -715,14 +825,17 @@ def render_html(tracer: Tracer, title: str = "repro run report",
             + body + "</section>"
         )
 
-    for label, cols in (("virtual machine", _VM_COLS),
-                        ("cost ledger", _LEDGER_COLS)):
-        headers, rank_rows = _rank_rows(tracer, cols)
+    for label, cols, labels in (
+            ("virtual machine", _VM_COLS, {}),
+            ("cost ledger", _LEDGER_COLS, {}),
+            ("measured, wall clock", _VM_WALL_COLS, {"clock": "wall"})):
+        headers, rank_rows = _rank_rows(tracer, cols, labels=labels)
         if not rank_rows:
             continue
         words = reg.per_rank(
-            "repro.vm.words_sent" if label == "virtual machine"
-            else "repro.ledger.words_sent"
+            "repro.ledger.words_sent" if label == "cost ledger"
+            else "repro.vm.words_sent",
+            labels=labels,
         )
         bars = _svg_rank_bars(words, unit=" words sent")
         table = _html_table(
@@ -730,6 +843,24 @@ def render_html(tracer: Tracer, title: str = "repro run report",
         )
         sections.append(
             f"<section><h2>Per-rank traffic — {label}</h2>"
+            + bars + table + "</section>"
+        )
+
+    for backend in _transport_backends(tracer):
+        labels = {"backend": backend} if backend else {}
+        headers, rank_rows = _rank_rows(tracer, _TRANSPORT_COLS,
+                                        labels=labels)
+        if not rank_rows:
+            continue
+        bars = _svg_rank_bars(
+            reg.per_rank("repro.transport.bytes_zero_copy", labels=labels),
+            unit=" zero-copy bytes",
+        )
+        table = _html_table(
+            headers, [[_fmt(c) for c in row] for row in rank_rows]
+        )
+        sections.append(
+            f"<section><h2>Transport counters — {_html.escape(backend or 'backend')}</h2>"
             + bars + table + "</section>"
         )
 

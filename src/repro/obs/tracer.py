@@ -85,6 +85,11 @@ class Tracer:
         self.metrics = MetricsRegistry()
         self._causal_nodes: list = []
         self._causal_msgs: list = []
+        #: Per-(run, rank) clock-alignment records from measured backends
+        #: (:class:`repro.obs.wallclock.ClockRecord`): the offset subtracted
+        #: from that rank's ``perf_counter`` stream and the estimation
+        #: uncertainty (half the best handshake round trip).
+        self.clock_records: list = []
         #: Columnar VM-run records registered via :meth:`add_vm_chunk`,
         #: not yet expanded into the three lists above: ``(record,
         #: event position, virtual-time base, enclosing span index)``.

@@ -16,7 +16,18 @@ must pickle — true of every payload type this library sends.
 
 Clocks in the returned :class:`~repro.parallel.runtime.RunResult` are
 measured host wall seconds per rank; ``waited`` time (blocked on an empty
-queue) is separated out so busy/idle splits stay meaningful.  Scheduling
+queue) is separated out so busy/idle splits stay meaningful.
+
+With a tracer attached the backend also records the run's *measured*
+causal trace (:mod:`repro.obs.wallclock`): each rank keeps a columnar
+:class:`~repro.obs.wallclock.WallRecorder` of its sends/recvs/probes and
+the work gaps between them on its own ``perf_counter``, the parent
+estimates every child's clock offset with an NTP-style pipe handshake run
+*after* the program (so tracing never delays the start of work — offsets
+are constants of the monotonic clocks), and the streams then merge
+into ``CausalNode``/``CausalMsg`` lists under a ``vm.run`` marker with
+``clock="wall"`` — so ``repro critical-path``, ``repro report`` and
+``repro diff`` work on measured runs exactly as on modelled ones.  Scheduling
 is the OS's, so arrival *interleaving* across sources is nondeterministic
 — programs whose results depend only on mailbox matching semantics (all
 of this library's) produce payload-identical results to ``virtual``,
@@ -54,7 +65,10 @@ DEFAULT_TIMEOUT = 60.0
 DEFAULT_GRACE = 30.0
 
 #: Transport counter keys surfaced into the metrics registry.
-_TRANSPORT_METRIC_KEYS = ("bytes_zero_copy", "bytes_pickled", "slab_reuse")
+_TRANSPORT_METRIC_KEYS = (
+    "bytes_zero_copy", "bytes_pickled", "msgs_zero_copy", "msgs_pickled",
+    "slab_reuse", "spills",
+)
 
 
 class MultiprocessingBackend:
@@ -107,6 +121,14 @@ class MultiprocessingBackend:
         inboxes = [ctx.Queue() for _ in range(self.nranks)]
         result_q = ctx.Queue()
 
+        # Measured tracing: one clock-handshake pipe per rank.  The
+        # handshake runs after each child's program finishes, so tracing
+        # never delays the start of work — the merge aligns the streams
+        # from the estimated offsets alone, and the recorded start
+        # spread (boot stagger) widens the skew bound honestly.
+        recording = self.tracer is not None
+        pipes = [ctx.Pipe() for _ in range(self.nranks)] if recording else []
+
         procs = []
         t0 = time.perf_counter()
         for r in range(self.nranks):
@@ -115,14 +137,37 @@ class MultiprocessingBackend:
                 k: (v.values[r] if isinstance(v, per_rank) else v)
                 for k, v in kwargs.items()
             }
+            sync = pipes[r][1] if recording else None
             p = ctx.Process(
                 target=_rank_worker,
                 args=(r, self.nranks, self.machine, program, a, kw,
-                      inboxes, result_q, self.timeout, transport),
+                      inboxes, result_q, self.timeout, transport, sync),
                 daemon=True,
             )
             p.start()
             procs.append(p)
+
+        offsets: dict[int, float] = {}
+        skews: dict[int, float] = {}
+        if recording:
+            from ...obs.wallclock import estimate_offsets
+
+            try:
+                for r in range(self.nranks):
+                    pipes[r][1].close()  # child's end, in the parent
+                offsets, skews = estimate_offsets(
+                    {r: pipes[r][0] for r in range(self.nranks)},
+                    timeout=self.timeout,
+                )
+            except Exception:
+                # A rank died (or hung) before its handshake.  Abandon the
+                # measured trace; the normal collection loop below will
+                # surface the rank's real failure.
+                recording = False
+            finally:
+                for parent_end, child_end in pipes:
+                    parent_end.close()
+                    child_end.close()
 
         results: dict[int, tuple] = {}
         deadline = time.perf_counter() + self.timeout + self.grace
@@ -179,6 +224,7 @@ class MultiprocessingBackend:
         returns, clocks, waited = [], [], []
         words_s, msgs_s, words_r, msgs_r = [], [], [], []
         transport_per_rank: list[dict] = []
+        streams: dict[int, dict] = {}
         for r in range(self.nranks):
             retval, stats = results[r]
             returns.append(retval)
@@ -189,6 +235,8 @@ class MultiprocessingBackend:
             words_r.append(stats["words_recv"])
             msgs_r.append(stats["msgs_recv"])
             transport_per_rank.append(stats.get("transport", {}))
+            if "rec" in stats:
+                streams[r] = stats["rec"]
         makespan = max(clocks) if clocks else 0.0
         busy = [c - w for c, w in zip(clocks, waited)]
         idle = [makespan - b for b in busy]
@@ -218,6 +266,12 @@ class MultiprocessingBackend:
                             transport_per_rank[r].get(key, 0),
                             kind="counter", rank=r, backend=self.name,
                         )
+        merged_nodes = merged_msgs = None
+        if recording and len(streams) == self.nranks:
+            merged_nodes, merged_msgs = self._record_measured_run(
+                streams, offsets, skews, waited, msgs_s, msgs_r,
+                words_s, words_r,
+            )
         return RunResult(
             returns=returns,
             clocks=clocks,
@@ -232,15 +286,33 @@ class MultiprocessingBackend:
             wall_seconds=wall,
             backend=self.name,
             transport=transport_totals,
+            nodes=merged_nodes,
+            msgs=merged_msgs,
+        )
+
+    def _record_measured_run(self, streams, offsets, skews, waited,
+                             msgs_s, msgs_r, words_s, words_r):
+        """Merge per-rank wall-clock streams into the tracer's causal record.
+
+        Returns the merged ``(nodes, msgs)`` lists (shared with the
+        tracer) so the :class:`RunResult` can carry them too.
+        """
+        from ...obs.wallclock import record_measured_run
+
+        return record_measured_run(
+            self.tracer, streams, offsets, skews,
+            nranks=self.nranks, backend=self.name,
+            waited=waited, msgs_sent=msgs_s, msgs_recv=msgs_r,
+            words_sent=words_s, words_recv=words_r,
         )
 
 
 def _rank_worker(rank, size, machine, program, args, kwargs,
-                 inboxes, result_q, timeout, transport=None):
+                 inboxes, result_q, timeout, transport=None, sync=None):
     """Child-process entry: drive one rank's generator over the queues."""
     try:
         retval, stats = _drive(rank, size, machine, program, args, kwargs,
-                               inboxes, timeout, transport)
+                               inboxes, timeout, transport, sync)
         result_q.put(("ok", rank, retval, stats))
     except _RecvTimeout as exc:
         result_q.put(("error", rank, "deadlock", str(exc)))
@@ -253,7 +325,7 @@ class _RecvTimeout(RuntimeError):
 
 
 def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
-           transport=None):
+           transport=None, sync=None):
     from ..simcomm import Comm
 
     comm = Comm(rank, size, machine)
@@ -273,16 +345,31 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
     if transport is not None:
         # map shared pages into this rank before the clock starts
         transport.warmup()
+    rec = None
+    if sync is not None:
+        # Measured tracing: start recording immediately — the clock
+        # handshake runs *after* the program (offsets are constants of
+        # the monotonic perf_counter streams), so a traced rank starts
+        # work exactly when an untraced one would.
+        from ...obs.wallclock import WallRecorder
+
+        rec = WallRecorder()
+    #: local mailbox seq -> global message id (recording runs only)
+    mid_by_seq: dict[int, int] = {}
     t0 = time.perf_counter()
+    if rec is not None:
+        rec.start(t0)
 
     def drain_nonblocking():
         nonlocal seq
         while True:
             try:
-                src, tag, payload, nwords = inbox.get_nowait()
+                src, tag, payload, nwords, mid = inbox.get_nowait()
             except _queue.Empty:
                 return
             seq += 1
+            if rec is not None:
+                mid_by_seq[seq] = mid
             mailbox.add(_Message(src, tag, payload, nwords, 0.0, seq))
 
     value = None
@@ -296,14 +383,30 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
         if isinstance(op, SendOp):
             if not 0 <= op.dest < size:
                 raise ValueError(f"rank {rank}: send to invalid rank {op.dest}")
-            wire = (
-                op.payload if transport is None
-                else transport.encode(op.payload, op.nwords)
-            )
-            inboxes[op.dest].put((rank, op.tag, wire, op.nwords))
+            if rec is None:
+                wire = (
+                    op.payload if transport is None
+                    else transport.encode(op.payload, op.nwords)
+                )
+                inboxes[op.dest].put((rank, op.tag, wire, op.nwords, -1))
+            else:
+                ts = time.perf_counter()
+                mid = msgs_sent * size + rank  # globally unique msg id
+                if transport is None:
+                    wire = op.payload
+                else:
+                    spills0 = transport.counters.get("spills", 0)
+                    wire = transport.encode(op.payload, op.nwords)
+                    if transport.counters.get("spills", 0) > spills0:
+                        rec.note_spill(ts, mid)
+                inboxes[op.dest].put((rank, op.tag, wire, op.nwords, mid))
+                rec.note_send(mid, op.dest, op.tag, op.nwords,
+                              ts, time.perf_counter())
             words_sent += op.nwords
             msgs_sent += 1
         elif isinstance(op, RecvOp):
+            ts = time.perf_counter() if rec is not None else 0.0
+            this_wait = 0.0
             drain_nonblocking()
             msg = mailbox.pop_match(op.source, op.tag)
             give_up = time.perf_counter() + timeout
@@ -313,15 +416,19 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
                     raise _RecvTimeout(_timeout_text(rank, op, mailbox, timeout))
                 w0 = time.perf_counter()
                 try:
-                    src, tag, payload, nwords = inbox.get(
+                    src, tag, payload, nwords, mid = inbox.get(
                         timeout=min(budget, 1.0)
                     )
                 except _queue.Empty:
                     waited += time.perf_counter() - w0
+                    this_wait += time.perf_counter() - w0
                     continue
                 waited += time.perf_counter() - w0
+                this_wait += time.perf_counter() - w0
                 give_up = time.perf_counter() + timeout  # progress: rearm
                 seq += 1
+                if rec is not None:
+                    mid_by_seq[seq] = mid
                 mailbox.add(_Message(src, tag, payload, nwords, 0.0, seq))
                 msg = mailbox.pop_match(op.source, op.tag)
             words_recv += msg.nwords
@@ -331,7 +438,11 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
                 else transport.decode(msg.payload)
             )
             value = (payload, msg.source, msg.tag)
+            if rec is not None:
+                rec.note_op(2, ts, time.perf_counter(), this_wait,
+                            mid_by_seq.pop(msg.seq, -1))  # 2 = RECV
         elif isinstance(op, ProbeOp):
+            ts = time.perf_counter() if rec is not None else 0.0
             drain_nonblocking()
             msg = mailbox.pop_match(op.source, op.tag)
             if msg is not None:
@@ -344,14 +455,18 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
                 value = (True, (payload, msg.source, msg.tag))
             else:
                 value = (False, None)
+            if rec is not None:
+                mid = -1 if msg is None else mid_by_seq.pop(msg.seq, -1)
+                rec.note_op(3, ts, time.perf_counter(), 0.0, mid)  # 3 = PROBE
         elif isinstance(op, (WorkOp, ElapseOp)):
             # modelled time only; the measured clock runs on its own
             pass
         else:
             raise TypeError(f"rank {rank} yielded unknown op {op!r}")
 
+    t_end = time.perf_counter()
     stats = {
-        "wall": time.perf_counter() - t0,
+        "wall": t_end - t0,
         "waited": waited,
         "words_sent": words_sent,
         "msgs_sent": msgs_sent,
@@ -360,6 +475,17 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
     }
     if transport is not None:
         stats["transport"] = dict(transport.counters)
+    if rec is not None:
+        rec.finish(t_end)
+        stats["rec"] = rec.columns()
+        # Post-run clock handshake: answer the parent's probes (already
+        # sitting in the pipe) off the measured clock, then hand back
+        # the columns.  A rank that died above never reaches this; its
+        # process exit EOFs the pipe and the parent abandons recording.
+        from ...obs.wallclock import serve_clock_probes
+
+        serve_clock_probes(sync, timeout=timeout)
+        sync.close()
     return retval, stats
 
 

@@ -41,6 +41,9 @@ __all__ = ["MPIBackend"]
 #: The single wire tag every logical message travels on.
 _WIRE_TAG = 7
 
+#: Wire tag reserved for the clock-alignment handshake (measured tracing).
+_SYNC_TAG = 8
+
 
 class MPIBackend:
     """Drive rank programs over mpi4py point-to-point messaging."""
@@ -88,15 +91,50 @@ class MPIBackend:
         seq = 0
         waited = 0.0
         words_sent = msgs_sent = words_recv = msgs_recv = 0
+
+        # Measured tracing is collective: if *any* rank carries a tracer,
+        # every rank records (the wire format and the handshake must
+        # agree across the job).
+        recording = bool(mpi.allreduce(self.tracer is not None, op=MPI.LOR))
+        rec = None
+        offsets: dict[int, float] = {}
+        skews: dict[int, float] = {}
+        if recording:
+            from ...obs.wallclock import SYNC_ROUNDS, WallRecorder
+
+            if rank == 0:
+                offsets[0], skews[0] = 0.0, 0.0
+                for peer in range(1, size):
+                    best_rtt, best_off = float("inf"), 0.0
+                    for _ in range(SYNC_ROUNDS):
+                        t_send = time.perf_counter()
+                        mpi.send(0, dest=peer, tag=_SYNC_TAG)
+                        t_peer = mpi.recv(source=peer, tag=_SYNC_TAG)
+                        t_recv = time.perf_counter()
+                        rtt = t_recv - t_send
+                        if rtt < best_rtt:
+                            best_rtt = rtt
+                            best_off = t_peer - (t_send + t_recv) / 2.0
+                    offsets[peer], skews[peer] = best_off, best_rtt / 2.0
+            else:
+                for _ in range(SYNC_ROUNDS):
+                    mpi.recv(source=0, tag=_SYNC_TAG)
+                    mpi.send(time.perf_counter(), dest=0, tag=_SYNC_TAG)
+            mpi.barrier()  # start line: recorders begin together
+            rec = WallRecorder()
+        mid_by_seq: dict[int, int] = {}
         t0 = time.perf_counter()
+        if rec is not None:
+            rec.start(t0)
 
         def drain_nonblocking():
             nonlocal seq
             while mpi.iprobe(source=MPI.ANY_SOURCE, tag=_WIRE_TAG):
-                src, tag, payload, nwords = mpi.recv(
-                    source=MPI.ANY_SOURCE, tag=_WIRE_TAG
-                )
+                item = mpi.recv(source=MPI.ANY_SOURCE, tag=_WIRE_TAG)
+                src, tag, payload, nwords = item[:4]
                 seq += 1
+                if rec is not None:
+                    mid_by_seq[seq] = item[4] if len(item) > 4 else -1
                 mailbox.add(_Message(src, tag, payload, nwords, 0.0, seq))
 
         value = None
@@ -108,26 +146,42 @@ class MPIBackend:
                 break
             value = None
             if isinstance(op, SendOp):
-                mpi.send((rank, op.tag, op.payload, op.nwords),
-                         dest=op.dest, tag=_WIRE_TAG)
+                if rec is None:
+                    mpi.send((rank, op.tag, op.payload, op.nwords),
+                             dest=op.dest, tag=_WIRE_TAG)
+                else:
+                    ts = time.perf_counter()
+                    mid = msgs_sent * size + rank  # globally unique
+                    mpi.send((rank, op.tag, op.payload, op.nwords, mid),
+                             dest=op.dest, tag=_WIRE_TAG)
+                    rec.note_send(mid, op.dest, op.tag, op.nwords,
+                                  ts, time.perf_counter())
                 words_sent += op.nwords
                 msgs_sent += 1
             elif isinstance(op, RecvOp):
+                ts = time.perf_counter() if rec is not None else 0.0
+                this_wait = 0.0
                 drain_nonblocking()
                 msg = mailbox.pop_match(op.source, op.tag)
                 while msg is None:
                     w0 = time.perf_counter()
-                    src, tag, payload, nwords = mpi.recv(
-                        source=MPI.ANY_SOURCE, tag=_WIRE_TAG
-                    )
+                    item = mpi.recv(source=MPI.ANY_SOURCE, tag=_WIRE_TAG)
+                    src, tag, payload, nwords = item[:4]
                     waited += time.perf_counter() - w0
+                    this_wait += time.perf_counter() - w0
                     seq += 1
+                    if rec is not None:
+                        mid_by_seq[seq] = item[4] if len(item) > 4 else -1
                     mailbox.add(_Message(src, tag, payload, nwords, 0.0, seq))
                     msg = mailbox.pop_match(op.source, op.tag)
                 words_recv += msg.nwords
                 msgs_recv += 1
                 value = (msg.payload, msg.source, msg.tag)
+                if rec is not None:
+                    rec.note_op(2, ts, time.perf_counter(), this_wait,
+                                mid_by_seq.pop(msg.seq, -1))  # 2 = RECV
             elif isinstance(op, ProbeOp):
+                ts = time.perf_counter() if rec is not None else 0.0
                 drain_nonblocking()
                 msg = mailbox.pop_match(op.source, op.tag)
                 if msg is not None:
@@ -136,11 +190,15 @@ class MPIBackend:
                     value = (True, (msg.payload, msg.source, msg.tag))
                 else:
                     value = (False, None)
+                if rec is not None:
+                    mid = -1 if msg is None else mid_by_seq.pop(msg.seq, -1)
+                    rec.note_op(3, ts, time.perf_counter(), 0.0, mid)
             elif isinstance(op, (WorkOp, ElapseOp)):
                 pass  # modelled time only; real clocks are measured
             else:
                 raise TypeError(f"rank {rank} yielded unknown op {op!r}")
-        wall = time.perf_counter() - t0
+        t_end = time.perf_counter()
+        wall = t_end - t0
 
         stats = mpi.allgather(
             (retval, wall, waited, words_sent, msgs_sent,
@@ -150,6 +208,25 @@ class MPIBackend:
         clocks = [s[1] for s in stats]
         busy = [s[1] - s[2] for s in stats]
         makespan = max(clocks) if clocks else 0.0
+        merged_nodes = merged_msgs = None
+        if recording:
+            rec.finish(t_end)
+            streams_all = mpi.allgather(rec.columns())
+            offsets, skews = mpi.bcast((offsets, skews), root=0)
+            if self.tracer is not None:
+                from ...obs.wallclock import record_measured_run
+
+                merged_nodes, merged_msgs = record_measured_run(
+                    self.tracer,
+                    {r: cols for r, cols in enumerate(streams_all)},
+                    offsets, skews,
+                    nranks=size, backend=self.name,
+                    waited=[s[2] for s in stats],
+                    msgs_sent=[s[4] for s in stats],
+                    msgs_recv=[s[6] for s in stats],
+                    words_sent=[s[3] for s in stats],
+                    words_recv=[s[5] for s in stats],
+                )
         return RunResult(
             returns=returns,
             clocks=clocks,
@@ -163,4 +240,6 @@ class MPIBackend:
             idle_per_rank=[makespan - b for b in busy],
             wall_seconds=wall,
             backend=self.name,
+            nodes=merged_nodes,
+            msgs=merged_msgs,
         )

@@ -69,7 +69,7 @@ def test_validate_accepts_fresh_export(tmp_path):
     export_jsonl(sample_tracer(), path)
     summary = validate_jsonl(path)
     assert summary == {"spans": 3, "events": 1, "counters": 1, "gauges": 1,
-                       "metrics": 0, "nodes": 0, "msgs": 0}
+                       "metrics": 0, "nodes": 0, "msgs": 0, "clocks": 0}
 
 
 def test_metric_roundtrip(tmp_path):
@@ -114,9 +114,11 @@ def test_metric_record_rejected_in_v1_file(tmp_path):
 def _meta(schema=SCHEMA_VERSION, **counts) -> dict:
     base = {"type": "meta", "schema": schema, "spans": 0,
             "events": 0, "counters": 0, "gauges": 0, "metrics": 0,
-            "nodes": 0, "msgs": 0}
+            "nodes": 0, "msgs": 0, "clocks": 0}
     if schema == "repro.obs/v2":
         del base["nodes"], base["msgs"]
+    if schema in ("repro.obs/v2", "repro.obs/v3"):
+        del base["clocks"]
     base.update(counts)
     return base
 
@@ -336,6 +338,33 @@ def test_chrome_trace_flow_events(tmp_path):
                  if e["ph"] == "X" and e.get("cat") == "vm"]
     assert len(vm_slices) == len(tr.causal_nodes)
     assert all(s["tid"] >= 1 for s in vm_slices)
+
+
+def test_chrome_flow_events_survive_jsonl_round_trip(tmp_path):
+    """Virtual causal records keep their flow pairs through JSONL."""
+    tr = causal_tracer()
+    jsonl = tmp_path / "trace.jsonl"
+    export_jsonl(tr, jsonl)
+    back = read_jsonl(jsonl)
+    path = tmp_path / "trace.json"
+    export_chrome_trace(back, path)
+    events = json.loads(path.read_text())["traceEvents"]
+    starts = {e["id"]: e for e in events if e["ph"] == "s"}
+    finishes = {e["id"]: e for e in events if e["ph"] == "f"}
+    delivered = [m for m in tr.causal_msgs if m.recv_node is not None]
+    assert len(starts) == len(finishes) == len(delivered) == 2
+    assert set(starts) == set(finishes)
+    nodes = {n.id: n for n in tr.causal_nodes}
+    for msg, fid in zip(sorted(delivered, key=lambda m: m.id),
+                        sorted(starts)):
+        s, f = starts[fid], finishes[fid]
+        # virtual flows stay on the modelled-timeline process (pid 0)
+        # and bind the sender's rank thread to the receiver's
+        assert s["pid"] == f["pid"] == 0
+        assert s["tid"] == nodes[msg.send_node].rank + 1
+        assert f["tid"] == nodes[msg.recv_node].rank + 1
+        assert s["ts"] <= f["ts"]
+        assert s["args"]["nwords"] == msg.nwords == f["args"]["nwords"]
 
 
 def test_chrome_trace_structure(tmp_path):
