@@ -19,6 +19,11 @@ beyond ``--max-regress`` (default 1.15), and the virtual-second series
 must match the baseline exactly.  ``REPRO_BENCH_RESOLUTION`` overrides
 the default resolution (full: 6, quick: 4), as does ``--resolution``.
 
+Each run's headline numbers are also appended to the cross-run history
+store (``.repro_runs/``, one record per bench; see ``repro runs``), so
+the perf trajectory accrues run over run — ``--no-history`` opts out and
+``--history-dir`` picks a different store root.
+
 Exit status: 0 on success, 1 on regression/divergence, 2 on bad usage.
 """
 
@@ -105,6 +110,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list registered benches and exit"
     )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not index this run into the run-history store",
+    )
+    parser.add_argument(
+        "--history-dir",
+        default=None,
+        help="run-history store root (default: $REPRO_RUNS_DIR or "
+             "./.repro_runs)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -171,6 +187,14 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(merged, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.out}")
+
+    if not args.no_history:
+        from repro.obs.runs import RunStore, index_bench_results
+
+        store = RunStore(args.history_dir)
+        recs = index_bench_results(store, doc, profile=profile)
+        print(f"indexed {len(recs)} bench record(s) into {store.root} "
+              "(inspect with `repro runs list`)")
     return 0
 
 

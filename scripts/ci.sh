@@ -12,6 +12,9 @@
 # stays bit-identical: causal recording never alters modelled clocks).
 # The multiprocessing smoke runs the calibrate workload on real forked
 # rank processes and fails unless its payloads match the virtual run's.
+# The live smoke checks the streaming dashboard and the run-history
+# store's compare/regress on the traces exported along the way (all
+# indexed into a throwaway REPRO_RUNS_DIR, keeping the checkout clean).
 set -e
 cd "$(dirname "$0")/.."
 
@@ -20,10 +23,14 @@ python scripts/smoke_trace.py
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
+# keep the run-history store hermetic: every traced run below indexes
+# into the throwaway store instead of the checkout's .repro_runs
+export REPRO_RUNS_DIR="$tmp/runs"
 PYTHONPATH=src python -m repro step 4 --nproc 4 --trace-out "$tmp/step.jsonl" > /dev/null
 PYTHONPATH=src python -m repro report "$tmp/step.jsonl" --format ascii > "$tmp/report.txt"
 grep -q "Balance quality per cycle" "$tmp/report.txt"
 grep -q "Critical path" "$tmp/report.txt"
+grep -q "Resource usage (per process)" "$tmp/report.txt"
 grep -Eq "^ *0 " "$tmp/report.txt"
 PYTHONPATH=src python -m repro critical-path "$tmp/step.jsonl" > "$tmp/cpath.txt"
 grep -q "critical-path attribution by" "$tmp/cpath.txt"
@@ -56,6 +63,7 @@ timeout 120 env PYTHONPATH=src python -m repro report "$tmp/cal.jsonl" \
 grep -q "Per-rank traffic (measured, wall clock)" "$tmp/cal_report.txt"
 grep -q "Transport counters (shm)" "$tmp/cal_report.txt"
 grep -q "Measured critical path (wall clock)" "$tmp/cal_report.txt"
+grep -q "rank 3" "$tmp/cal_report.txt"  # per-rank resource rows (v5)
 timeout 120 env PYTHONPATH=src python -m repro critical-path \
     "$tmp/cal.jsonl" --clock wall > "$tmp/cal_cpath.txt"
 grep -q "wall seconds" "$tmp/cal_cpath.txt"
@@ -64,6 +72,28 @@ timeout 120 env PYTHONPATH=src python -m repro diff "$tmp/step.jsonl" \
 grep -q "carries no measured" "$tmp/cal_diff_err.txt"
 grep -q "makespan" "$tmp/cal_diff.txt"
 echo "measured-trace smoke: OK"
+
+# live + run-history smoke: the fig6-style step on real forked ranks
+# must render the streaming dashboard off-TTY, and the two step traces
+# indexed above must answer compare/regress from the store alone
+timeout 300 env PYTHONPATH=src python -m repro step 4 --nproc 4 \
+    --backend multiprocessing --live --no-history \
+    > /dev/null 2> "$tmp/live.txt"
+grep -q "per-rank busy/idle:" "$tmp/live.txt"
+grep -q "resources (rss / cpu / gc):" "$tmp/live.txt"
+grep -q "\[done\]" "$tmp/live.txt"
+PYTHONPATH=src python -m repro step 4 --nproc 4 \
+    --trace-out "$tmp/step2.jsonl" > /dev/null
+ids="$(PYTHONPATH=src python -m repro runs list | awk '/ step\/r4 /{print $1}')"
+set -- $ids
+test "$#" -ge 2
+PYTHONPATH=src python -m repro runs compare "$1" "$2" > "$tmp/runs_cmp.txt"
+grep -q "makespan" "$tmp/runs_cmp.txt"
+grep -q "peak_rss_bytes" "$tmp/runs_cmp.txt"
+# threshold 3x: wall/cpu of a ~15ms step are ±30% noisy on CI hosts
+PYTHONPATH=src python -m repro runs regress --threshold 3.0 > "$tmp/runs_reg.txt"
+grep -q "OK: no metric regressed" "$tmp/runs_reg.txt"
+echo "live + run-history smoke: OK"
 
 # MPI lane: the same rank programs under mpiexec, when an MPI stack is
 # installed; skipped cleanly (not failed) on hosts without one.

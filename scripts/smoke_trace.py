@@ -3,14 +3,14 @@
 
 Runs ``python -m repro step --trace-out`` on a tiny mesh (resolution 4,
 a few hundred elements — seconds of wall time), then validates the
-emitted JSONL against the ``repro.obs/v4`` schema and sanity-checks the
+emitted JSONL against the ``repro.obs/v5`` schema and sanity-checks the
 span tree: the step must contain marking/subdivision spans and the root
 span's virtual duration must equal the sum of its phase leaves.  The
-trace must carry labelled metric samples and a causal record whose
-critical path reproduces every VM run's makespan bit-for-bit, the
-Chrome export must carry flow events for the delivered messages, and
-``repro report`` / ``repro critical-path`` / ``repro diff`` must all
-render from the file alone.
+trace must carry labelled metric samples, host resource samples, and a
+causal record whose critical path reproduces every VM run's makespan
+bit-for-bit, the Chrome export must carry flow events for the delivered
+messages, and ``repro report`` / ``repro critical-path`` / ``repro
+diff`` must all render from the file alone.
 
 A second pass runs ``repro calibrate`` (virtual + the real mp/shm
 backends on the exec-phase workload) with ``--trace-out`` and checks
@@ -19,7 +19,14 @@ makespans and the measured wall clocks — including the v4 measured
 layer: clock-alignment records, wall-clock causal runs whose critical
 path matches the rank makespan within the recorded skew bound, the
 measured report/critical-path renderings, and ``repro diff``'s graceful
-degradation when one trace lacks measured runs.
+degradation when one trace lacks measured runs — plus the v5 resource
+layer: per-rank ``repro.resource.*`` samples from the forked rank
+processes.
+
+A third pass covers the live/longitudinal layer: ``repro step --live``
+must render the dashboard off-TTY, and the run-history store the traced
+runs indexed into must answer ``repro runs list``/``compare``/
+``regress`` (with a clean exit on the unchanged re-run).
 
 Exit status 0 on success, 1 with a diagnostic on any failure.
 
@@ -58,6 +65,8 @@ def main() -> int:
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
 
     with tempfile.TemporaryDirectory() as tmp:
+        runs_dir = os.path.join(tmp, "runs")
+        env["REPRO_RUNS_DIR"] = runs_dir  # keep the smoke hermetic
         jsonl = os.path.join(tmp, "step.jsonl")
         chrome = os.path.join(tmp, "step.json")
         cmd = [
@@ -84,7 +93,18 @@ def main() -> int:
         if f'"{SCHEMA_VERSION}"' not in first:
             return fail(f"meta line does not declare {SCHEMA_VERSION}: {first}")
 
+        # v5 resource layer: the traced CLI run samples its own process
+        if summary.get("resources", 0) == 0:
+            return fail("trace contains no resource samples")
+
         tracer = read_jsonl(jsonl)
+        if not any(s.rank is None for s in tracer.resource_samples):
+            return fail("trace carries no host (rank=None) resource samples")
+        if not any(
+            s.name == "repro.resource.peak_rss_bytes" and s.value > 0
+            for s in tracer.metrics.samples()
+        ):
+            return fail("trace carries no positive repro.resource.* peaks")
         names = {s.name for s in tracer.spans}
         for required in ("adapt_step", "marking", "subdivision"):
             if required not in names:
@@ -210,6 +230,24 @@ def main() -> int:
         if "clock alignment per measured run" not in proc.stdout:
             return fail("calibrate did not print the clock-skew table")
 
+        # v5 resource layer on a real backend: every forked mp/shm rank
+        # must have shipped resource rows back into the trace
+        if bsummary.get("resources", 0) == 0:
+            return fail("backend trace contains no resource samples")
+        rank_res = {
+            (s.rank, s.labels_dict.get("backend"))
+            for s in btracer.metrics.samples()
+            if s.name == "repro.resource.peak_rss_bytes"
+            and s.rank is not None
+        }
+        for needed in ((0, "multiprocessing"), (1, "multiprocessing"),
+                       (0, "shm"), (1, "shm")):
+            if needed not in rank_res:
+                return fail(
+                    f"backend trace lacks per-rank resource peaks for "
+                    f"{needed}; got {sorted(rank_res)}"
+                )
+
         # v4 measured layer: the real-backend runs must have recorded
         # clock-aligned wall causal runs under their phase spans
         from repro.obs.causal import runs_from_tracer
@@ -274,12 +312,86 @@ def main() -> int:
         if "makespan" not in proc.stdout:
             return fail("degraded diff rendered no comparison at all")
 
+        # live pass: the dashboard must render off-TTY (plain snapshots on
+        # stderr) while the remap's rank programs run on the mp backend,
+        # streaming per-rank frames over the side channel
+        cmd = [
+            sys.executable, "-m", "repro", "step", "4", "--nproc", "4",
+            "--backend", "multiprocessing", "--live", "--no-history",
+        ]
+        proc = subprocess.run(
+            cmd, env=env, cwd=REPO, capture_output=True, text=True,
+            timeout=300,
+        )
+        if proc.returncode != 0:
+            return fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                        f"{proc.stdout}\n{proc.stderr}")
+        for needle in ("repro step r4", "[done]", "per-rank busy/idle:",
+                       "resources (rss / cpu / gc):"):
+            if needle not in proc.stderr:
+                return fail(f"--live dashboard omits {needle!r}:\n"
+                            f"{proc.stderr}")
+
+        # run-history pass: the two traced runs above were indexed into
+        # REPRO_RUNS_DIR; a second identical step gives regress a rolling
+        # baseline, and the unchanged re-run must come back clean
+        jsonl2 = os.path.join(tmp, "step2.jsonl")
+        cmd = [
+            sys.executable, "-m", "repro", "step", "4", "--nproc", "4",
+            "--trace-out", jsonl2,
+        ]
+        proc = subprocess.run(
+            cmd, env=env, cwd=REPO, capture_output=True, text=True,
+            timeout=300,
+        )
+        if proc.returncode != 0:
+            return fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                        f"{proc.stdout}\n{proc.stderr}")
+        from repro.obs.runs import RunStore
+
+        store = RunStore(runs_dir)
+        step_ids = [r.id for r in store.records()
+                    if r.label == "step/r4"]
+        if len(step_ids) != 2:
+            return fail(f"expected 2 indexed step/r4 runs, got {step_ids}")
+        cmd = [sys.executable, "-m", "repro", "runs", "compare",
+               step_ids[0], step_ids[1]]
+        proc = subprocess.run(
+            cmd, env=env, cwd=REPO, capture_output=True, text=True,
+            timeout=60,
+        )
+        if proc.returncode != 0:
+            return fail(f"{' '.join(cmd)} exited {proc.returncode}:\n"
+                        f"{proc.stdout}\n{proc.stderr}")
+        for needle in ("makespan", "virtual_seconds", "peak_rss_bytes"):
+            if needle not in proc.stdout:
+                return fail(f"runs compare omits the {needle!r} metric:\n"
+                            f"{proc.stdout}")
+        # threshold 3x: host wall / cpu seconds of a ~15ms step are ±30%
+        # noisy on loaded single-core CI hosts (the strict determinism
+        # check is the virtual-second series in the bench gate)
+        cmd = [sys.executable, "-m", "repro", "runs", "regress",
+               step_ids[1], "--threshold", "3.0"]
+        proc = subprocess.run(
+            cmd, env=env, cwd=REPO, capture_output=True, text=True,
+            timeout=60,
+        )
+        if proc.returncode != 0:
+            return fail(f"unchanged re-run flagged as a regression "
+                        f"(exit {proc.returncode}):\n{proc.stdout}")
+        if "OK: no metric regressed" not in proc.stdout:
+            return fail(f"runs regress verdict missing:\n{proc.stdout}")
+        nstored = len(store.records())
+
     print(f"smoke_trace: OK ({summary['spans']} spans, "
           f"{summary['events']} events, {summary['metrics']} metrics, "
           f"{summary['nodes']} causal nodes, {summary['msgs']} msgs, "
-          f"{summary['counters']} counters, {len(cycles)} cycle(s); "
-          f"makespan identity on {nruns} vm run(s); "
-          f"{len(wall_runs)} measured wall run(s) within skew)")
+          f"{summary['counters']} counters, "
+          f"{summary['resources']} resource samples, {len(cycles)} "
+          f"cycle(s); makespan identity on {nruns} vm run(s); "
+          f"{len(wall_runs)} measured wall run(s) within skew; "
+          f"live dashboard rendered; {nstored} run(s) in the history "
+          "store, unchanged re-run regress-clean)")
     return 0
 
 

@@ -12,6 +12,20 @@ step [RESOLUTION]
     its phase anatomy from tracer spans (``--nproc`` selects P,
     ``--reassigner`` the processor-reassignment algorithm, ``--backend``
     the communicator backend executing the remap's rank programs).
+    ``--live`` renders an in-place ASCII dashboard (cycle, phase stack,
+    per-rank busy/idle, resource usage) while the step runs.
+watch [STATUS.json]
+    Attach to a live run from another terminal: poll the status file a
+    ``--live`` run publishes under ``.repro_runs/live/`` (newest by
+    default) and render the same dashboard (``--once`` prints a single
+    snapshot and exits).
+runs {list | show ID | compare A B | regress [ID] | index TRACE}
+    Query the cross-run history store (``.repro_runs/``, override with
+    ``--dir`` or ``REPRO_RUNS_DIR``).  Every traced ``report``/``step``/
+    ``calibrate`` run and every ``scripts/bench_suite.py`` run is indexed
+    automatically; ``compare`` prints metric-by-metric deltas and
+    ``regress`` flags a run against the rolling median of its matching
+    predecessors (exit status 1 when any metric regressed).
 calibrate [RESOLUTION]
     Run the fig6 exec-phase workload (marking propagation, distributed
     subdivision, migration, finalization gather) on the virtual backend
@@ -43,12 +57,14 @@ version
 Tracing
 -------
 ``report`` and ``step`` accept ``--trace-out PATH`` to export the run's
-phase spans, events, metrics, counters, and causal message DAG as JSONL
-(schema ``repro.obs/v4``) and ``--chrome-out PATH`` to additionally
-write a Chrome-trace JSON that ``chrome://tracing`` or
+phase spans, events, metrics, counters, resource samples, and causal
+message DAG as JSONL (schema ``repro.obs/v5``) and ``--chrome-out PATH``
+to additionally write a Chrome-trace JSON that ``chrome://tracing`` or
 https://ui.perfetto.dev can open (message sends render as flow arrows).
 Feed the JSONL back to ``report`` for the dashboard, or to
-``critical-path`` / ``diff`` for makespan attribution.
+``critical-path`` / ``diff`` for makespan attribution.  Traced runs are
+indexed into the run-history store automatically (``--no-history``
+opts out).
 """
 
 from __future__ import annotations
@@ -68,11 +84,20 @@ def _build_parser() -> argparse.ArgumentParser:
     def add_tracing(p):
         p.add_argument(
             "--trace-out", metavar="PATH", default=None,
-            help="export phase spans/metrics/counters as JSONL (repro.obs/v4)",
+            help="export phase spans/metrics/counters as JSONL (repro.obs/v5)",
         )
         p.add_argument(
             "--chrome-out", metavar="PATH", default=None,
             help="export a chrome://tracing-loadable trace JSON",
+        )
+        p.add_argument(
+            "--no-history", action="store_true",
+            help="do not index the exported trace into the run-history store",
+        )
+        p.add_argument(
+            "--runs-dir", metavar="DIR", default=None,
+            help="run-history store root (default: $REPRO_RUNS_DIR or "
+                 "./.repro_runs)",
         )
 
     p_report = sub.add_parser(
@@ -112,6 +137,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--backend", default="virtual",
         help="communicator backend for the remap's rank programs "
              "(see `python -m repro calibrate --help` for the registry)",
+    )
+    p_step.add_argument(
+        "--live", action="store_true",
+        help="render a live ASCII dashboard (phases, per-rank busy/idle, "
+             "resource usage) while the step runs; also publishes a "
+             "status file `repro watch` can attach to",
     )
     add_tracing(p_step)
 
@@ -192,21 +223,125 @@ def _build_parser() -> argparse.ArgumentParser:
     p_case = sub.add_parser("case", help="print case sizes and growth factors")
     p_case.add_argument("resolution", nargs="?", type=int, default=8)
 
+    p_watch = sub.add_parser(
+        "watch", help="attach a dashboard to a running --live run"
+    )
+    p_watch.add_argument(
+        "path", nargs="?", default=None,
+        help="status file to watch (default: newest under the live dir)",
+    )
+    p_watch.add_argument(
+        "--dir", default=None,
+        help="status-file directory (default: <runs dir>/live)",
+    )
+    p_watch.add_argument("--interval", type=float, default=0.5,
+                         help="poll interval in seconds")
+    p_watch.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (status 1 when none found)",
+    )
+    p_watch.add_argument(
+        "--timeout", type=float, default=0.0,
+        help="give up after this many seconds with no live run (0 = wait "
+             "forever)",
+    )
+
+    p_runs = sub.add_parser(
+        "runs", help="query the cross-run history store (.repro_runs/)"
+    )
+    p_runs.add_argument(
+        "--dir", default=None,
+        help="store root (default: $REPRO_RUNS_DIR or ./.repro_runs)",
+    )
+    rsub = p_runs.add_subparsers(dest="runs_command")
+    rsub.add_parser("list", help="one row per stored run, newest last")
+    pr_show = rsub.add_parser("show", help="full record of one run")
+    pr_show.add_argument("id", help="run id (unique prefix accepted)")
+    pr_cmp = rsub.add_parser(
+        "compare", help="metric-by-metric deltas between two stored runs"
+    )
+    pr_cmp.add_argument("id_a", help="baseline run id")
+    pr_cmp.add_argument("id_b", help="candidate run id")
+    pr_reg = rsub.add_parser(
+        "regress",
+        help="flag a run against the rolling median of its matching "
+             "predecessors (exit 1 on regression)",
+    )
+    pr_reg.add_argument(
+        "id", nargs="?", default=None,
+        help="candidate run id (default: the newest stored run)",
+    )
+    pr_reg.add_argument("--window", type=int, default=None,
+                        help="rolling-baseline size (default 5)")
+    pr_reg.add_argument("--threshold", type=float, default=None,
+                        help="allowed cost factor before flagging "
+                             "(default 1.15)")
+    pr_idx = rsub.add_parser(
+        "index", help="summarize a trace file into the store"
+    )
+    pr_idx.add_argument("trace", help="trace .jsonl path")
+    pr_idx.add_argument("--label", default="",
+                        help="series label (default: the trace basename)")
+
     sub.add_parser("version", help="print the package version")
     return parser
 
 
-def _export(tracer, trace_out: str | None, chrome_out: str | None) -> None:
+def _export(tracer, trace_out: str | None, chrome_out: str | None,
+            label: str = "", config: dict | None = None,
+            history: bool = True, runs_dir: str | None = None) -> None:
     from repro.obs import export_chrome_trace, export_jsonl, validate_jsonl
 
     if trace_out:
         n = export_jsonl(tracer, trace_out)
         validate_jsonl(trace_out)
         print(f"wrote {n} JSONL records to {trace_out}")
+        if history:
+            from repro.obs.runs import RunStore, index_trace
+
+            rec = index_trace(
+                RunStore(runs_dir), trace_out, label=label, config=config
+            )
+            print(f"indexed run {rec.id} into {RunStore(runs_dir).root} "
+                  f"(compare with `repro runs list`)")
     if chrome_out:
         n = export_chrome_trace(tracer, chrome_out)
         print(f"wrote {n} Chrome-trace events to {chrome_out} "
               "(open in chrome://tracing or ui.perfetto.dev)")
+
+
+def _sampled_host(tracer, hub=None):
+    """Context: sample the host process's resources into ``tracer``.
+
+    The closing ``record_resource_samples`` call is what puts
+    ``resource`` records into every traced CLI run, real backend or not;
+    with a live hub the samples also stream straight to the dashboard.
+    """
+    import contextlib
+
+    if tracer is None:
+        return contextlib.nullcontext()
+
+    from repro.obs import ResourceSampler, record_resource_samples
+
+    emit = None
+    if hub is not None:
+        def emit(t, rss, cpu, gcs):
+            hub.publish("resource", rank=None, rss_bytes=rss,
+                        cpu_seconds=cpu, gc_collections=gcs)
+
+    @contextlib.contextmanager
+    def cm():
+        sampler = ResourceSampler(emit=emit).start()
+        try:
+            yield sampler
+        finally:
+            sampler.stop()
+            record_resource_samples(
+                tracer, sampler.rows(), rank=None, backend="host"
+            )
+
+    return cm()
 
 
 def _cmd_report(args) -> int:
@@ -220,9 +355,15 @@ def _cmd_report(args) -> int:
 
     tracing = bool(args.trace_out or args.chrome_out)
     tracer = Tracer() if tracing else None
-    print(run_all(resolution, tracer=tracer))
+    with _sampled_host(tracer):
+        print(run_all(resolution, tracer=tracer))
     if tracer is not None:
-        _export(tracer, args.trace_out, args.chrome_out)
+        _export(
+            tracer, args.trace_out, args.chrome_out,
+            label=f"report/r{resolution}",
+            config={"command": "report", "resolution": resolution},
+            history=not args.no_history, runs_dir=args.runs_dir,
+        )
     return 0
 
 
@@ -247,6 +388,9 @@ def _cmd_trace_report(args) -> int:
 
 
 def _cmd_step(args) -> int:
+    import contextlib
+    import os
+
     from repro.core import CostModel, LoadBalancedAdaptiveSolver
     from repro.experiments import make_case
     from repro.experiments.report import format_counters
@@ -254,18 +398,45 @@ def _cmd_step(args) -> int:
     from repro.parallel import SP2_1997
 
     case = make_case(args.resolution)
-    tracer = Tracer()
-    solver = LoadBalancedAdaptiveSolver(
-        case.mesh,
-        args.nproc,
-        machine=SP2_1997,
-        cost_model=CostModel(machine=SP2_1997),
-        imbalance_threshold=1.0,
-        reassigner=args.reassigner,
-        backend=args.backend,
-        tracer=tracer,
-    )
-    report = solver.adapt_step(edge_mask=case.marking_mask(args.strategy))
+    with contextlib.ExitStack() as stack:
+        hub = None
+        if args.live:
+            from repro.obs import (
+                LiveChannel,
+                LiveDisplay,
+                TelemetryHub,
+                use_live,
+            )
+            from repro.obs.live import default_status_dir
+
+            hub = TelemetryHub(
+                title=f"repro step r{args.resolution} P{args.nproc} "
+                      f"{args.backend}"
+            )
+            hub.channel = LiveChannel()
+            stack.enter_context(use_live(hub))
+            status_path = os.path.join(
+                default_status_dir(args.runs_dir),
+                f"step-{os.getpid()}.json",
+            )
+            stack.callback(hub.channel.close)  # after the display stops
+            stack.enter_context(LiveDisplay(
+                hub, channel=hub.channel, status_path=status_path
+            ))
+        tracer = Tracer()  # picks up the ambient hub when --live
+        if args.trace_out or args.chrome_out or args.live:
+            stack.enter_context(_sampled_host(tracer, hub=hub))
+        solver = LoadBalancedAdaptiveSolver(
+            case.mesh,
+            args.nproc,
+            machine=SP2_1997,
+            cost_model=CostModel(machine=SP2_1997),
+            imbalance_threshold=1.0,
+            reassigner=args.reassigner,
+            backend=args.backend,
+            tracer=tracer,
+        )
+        report = solver.adapt_step(edge_mask=case.marking_mask(args.strategy))
 
     clock = (
         "times are virtual seconds"
@@ -282,7 +453,16 @@ def _cmd_step(args) -> int:
           f"{report.reassign_wall_seconds:.6f} s)")
     print()
     print(format_counters(tracer))
-    _export(tracer, args.trace_out, args.chrome_out)
+    _export(
+        tracer, args.trace_out, args.chrome_out,
+        label=f"step/r{args.resolution}",
+        config={
+            "command": "step", "resolution": args.resolution,
+            "nproc": args.nproc, "strategy": args.strategy,
+            "reassigner": args.reassigner, "backend": args.backend,
+        },
+        history=not args.no_history, runs_dir=args.runs_dir,
+    )
     return 0
 
 
@@ -304,9 +484,10 @@ def _cmd_calibrate(args) -> int:
         backends = tuple(b for b in backends if b != "virtual")
     tracing = bool(args.trace_out or args.chrome_out)
     tracer = Tracer() if tracing else None
-    report = calibrate(
-        args.resolution, args.nproc, backends=backends, tracer=tracer
-    )
+    with _sampled_host(tracer):
+        report = calibrate(
+            args.resolution, args.nproc, backends=backends, tracer=tracer
+        )
     print(format_calibration(report))
     if args.fit:
         from repro.experiments.fit import fit_calibration, format_fits
@@ -320,7 +501,16 @@ def _cmd_calibrate(args) -> int:
         if skew_table:
             print()
             print(skew_table)
-        _export(tracer, args.trace_out, args.chrome_out)
+        _export(
+            tracer, args.trace_out, args.chrome_out,
+            label=f"calibrate/r{args.resolution}",
+            config={
+                "command": "calibrate", "resolution": args.resolution,
+                "nproc": args.nproc,
+                "backends": sorted(backends) if backends else None,
+            },
+            history=not args.no_history, runs_dir=args.runs_dir,
+        )
     return 0 if report.payloads_identical else 1
 
 
@@ -447,6 +637,121 @@ def _cmd_case(args) -> int:
     return 0
 
 
+def _cmd_watch(args) -> int:
+    import time as _time
+
+    from repro.obs.live import (
+        default_status_dir,
+        load_status,
+        newest_status,
+        render_dashboard,
+    )
+
+    status_dir = args.dir or default_status_dir()
+
+    def find():
+        return args.path or newest_status(status_dir)
+
+    if args.once:
+        path = find()
+        snap = load_status(path) if path else None
+        if snap is None:
+            print(f"no live run found (looked in {status_dir}); start one "
+                  "with `repro step --live`", file=sys.stderr)
+            return 1
+        print(render_dashboard(snap))
+        return 0
+
+    isatty = sys.stdout.isatty()
+    last_height = 0
+    seen = False
+    waited = 0.0
+    try:
+        while True:
+            path = find()
+            snap = load_status(path) if path else None
+            if snap is None:
+                if seen:
+                    print("live run ended")
+                    return 0
+                if args.timeout and waited >= args.timeout:
+                    print(f"no live run appeared within {args.timeout:g}s "
+                          f"(looked in {status_dir})", file=sys.stderr)
+                    return 1
+                _time.sleep(args.interval)
+                waited += args.interval
+                continue
+            seen = True
+            text = render_dashboard(snap)
+            if isatty and last_height:
+                sys.stdout.write(f"\x1b[{last_height}F\x1b[J")
+            sys.stdout.write(text + ("\n" if isatty else "\n---\n"))
+            sys.stdout.flush()
+            last_height = text.count("\n") + 1
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_runs(args) -> int:
+    from repro.obs.runs import (
+        DEFAULT_THRESHOLD,
+        DEFAULT_WINDOW,
+        RunStore,
+        find_regressions,
+        format_compare,
+        format_record,
+        format_regressions,
+        format_runs_list,
+        index_trace,
+    )
+
+    store = RunStore(args.dir)
+    cmd = args.runs_command
+    if cmd is None or cmd == "list":
+        print(format_runs_list(store.records()))
+        return 0
+    try:
+        if cmd == "show":
+            print(format_record(store.get(args.id)))
+            return 0
+        if cmd == "compare":
+            print(format_compare(store.get(args.id_a), store.get(args.id_b)))
+            return 0
+        if cmd == "regress":
+            records = store.records()
+            if args.id is not None:
+                candidate = store.get(args.id)
+            elif records:
+                candidate = records[-1]
+            else:
+                print(f"error: no runs stored in {store.root}",
+                      file=sys.stderr)
+                return 2
+            threshold = args.threshold or DEFAULT_THRESHOLD
+            flags, pool = find_regressions(
+                records, candidate,
+                window=args.window or DEFAULT_WINDOW,
+                threshold=threshold,
+            )
+            print(format_regressions(candidate, flags, pool, threshold))
+            return 1 if flags else 0
+        if cmd == "index":
+            import os
+
+            if not os.path.exists(args.trace):
+                print(f"error: no such trace file: {args.trace}",
+                      file=sys.stderr)
+                return 2
+            rec = index_trace(store, args.trace, label=args.label)
+            print(f"indexed run {rec.id} ({rec.label}) into {store.root}")
+            return 0
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return 2
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     parser = _build_parser()
@@ -473,6 +778,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scale(args)
     if args.command == "case":
         return _cmd_case(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
+    if args.command == "runs":
+        return _cmd_runs(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

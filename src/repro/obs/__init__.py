@@ -28,11 +28,23 @@ estimates per-rank offsets (:class:`ClockRecord`), and
 ``analyze(tracer, clock="wall")`` yields a measured critical path next
 to the modelled one.
 :mod:`repro.obs.export` serialises a tracer to JSONL (one record per
-line, schema ``repro.obs/v4``; v1–v3 files remain readable) and to the
+line, schema ``repro.obs/v5``; v1–v4 files remain readable) and to the
 Chrome trace-event format that ``chrome://tracing`` / Perfetto can open
 directly — including flow-event arrows for every delivered message.
 :mod:`repro.obs.report` turns a trace file into an ASCII dashboard or a
 self-contained HTML run report (``repro report <trace.jsonl>``).
+
+Three live/longitudinal companions round the layer out.
+:mod:`repro.obs.live` is a bounded in-process :class:`TelemetryHub` that
+the tracer publishes phase/cycle/run frames into, plus the non-blocking
+:class:`LiveChannel` side channel forked ranks stream progress and
+resource frames over, and the in-place ASCII dashboard behind
+``repro step --live`` / ``repro watch``.  :mod:`repro.obs.resource`
+samples per-process RSS, CPU seconds, and GC collections into the trace
+(``resource`` records + ``repro.resource.*`` metrics, schema v5).
+:mod:`repro.obs.runs` is the ``.repro_runs/`` cross-run history store
+(``repro runs list|show|compare|regress``) with rolling-baseline
+regression flagging.
 
 Instrumented code takes an optional ``tracer`` argument and falls back to
 the ambient tracer installed with :func:`use_tracer`, so experiment
@@ -77,6 +89,31 @@ from .export import (
     validate_jsonl,
 )
 from .report import render_ascii, render_html
+from .live import (
+    LiveChannel,
+    LiveDisplay,
+    TelemetryHub,
+    current_live,
+    render_dashboard,
+    use_live,
+)
+from .resource import (
+    ResourceSample,
+    ResourceSampler,
+    record_resource_samples,
+    resource_peaks,
+    sample_resources,
+)
+from .runs import (
+    Regression,
+    RunRecord,
+    RunStore,
+    find_regressions,
+    hash_config,
+    index_bench_results,
+    index_trace,
+    summarize_trace,
+)
 
 __all__ = [
     "CausalMsg",
@@ -85,34 +122,53 @@ __all__ = [
     "ClockRecord",
     "CriticalPath",
     "KINDS",
+    "LiveChannel",
+    "LiveDisplay",
     "MetricSample",
     "MetricsRegistry",
     "PointEvent",
+    "Regression",
+    "ResourceSample",
+    "ResourceSampler",
+    "RunRecord",
+    "RunStore",
     "SCHEMA_VERSION",
     "SUPPORTED_SCHEMAS",
     "SchemaError",
     "Span",
+    "TelemetryHub",
     "TraceAnalysis",
     "TraceDiff",
     "Tracer",
     "WallRecorder",
     "analyze",
     "critical_path",
+    "current_live",
     "current_tracer",
     "diff",
     "export_chrome_trace",
     "export_jsonl",
+    "find_regressions",
     "format_critical_path",
     "format_diff",
+    "hash_config",
+    "index_bench_results",
+    "index_trace",
     "maybe_phase",
     "merge_streams",
     "phase_virtual_times",
     "rank_stats",
     "read_jsonl",
+    "record_resource_samples",
     "render_ascii",
+    "render_dashboard",
     "render_html",
+    "resource_peaks",
     "run_from_result",
     "runs_from_tracer",
+    "sample_resources",
+    "summarize_trace",
+    "use_live",
     "use_tracer",
     "validate_jsonl",
     "verify_makespans",

@@ -1,19 +1,21 @@
 """Serialise a :class:`~repro.obs.tracer.Tracer` to JSONL and Chrome trace.
 
-JSONL schema (``repro.obs/v4``)
+JSONL schema (``repro.obs/v5``)
 -------------------------------
 One JSON object per line.  The first line is the meta record; every other
-line is a span, event, metric, node, msg, clock, counter, or gauge record:
+line is a span, event, metric, node, msg, clock, resource, counter, or
+gauge record:
 
-``{"type": "meta", "schema": "repro.obs/v4", "spans": N, "events": M,
+``{"type": "meta", "schema": "repro.obs/v5", "spans": N, "events": M,
 "counters": C, "gauges": G, "metrics": K, "nodes": D, "msgs": S,
-"clocks": W}``
+"clocks": W, "resources": R}``
     Header; the counts must match the number of records that follow.
     v1 files (schema ``repro.obs/v1``, no ``metrics`` count, no ``metric``
     records), v2 files (schema ``repro.obs/v2``, no ``nodes``/``msgs``
-    counts, no causal records), and v3 files (schema ``repro.obs/v3``,
-    no ``clocks`` count, no clock records) are still accepted by
-    :func:`read_jsonl`/:func:`validate_jsonl`.
+    counts, no causal records), v3 files (schema ``repro.obs/v3``, no
+    ``clocks`` count, no clock records), and v4 files (schema
+    ``repro.obs/v4``, no ``resources`` count, no resource records) are
+    still accepted by :func:`read_jsonl`/:func:`validate_jsonl`.
 
 ``{"type": "span", "index": int, "parent": int|null, "depth": int >= 0,
 "name": str, "rank": int|null, "v_start": float, "v_end": float,
@@ -51,6 +53,14 @@ line is a span, event, metric, node, msg, clock, counter, or gauge record:
     that rank's ``perf_counter`` stream and the estimation uncertainty.
     See :mod:`repro.obs.wallclock`.
 
+``{"type": "resource", "rank": int|null, "t": float >= 0,
+"rss_bytes": number >= 0, "cpu_seconds": number >= 0,
+"gc_collections": int >= 0}``
+    One periodic process-resource sample (:mod:`repro.obs.resource`):
+    resident set size, cumulative CPU seconds, and cumulative GC
+    collections of the process running ``rank`` (null = the host/driver
+    process), ``t`` seconds after that process's sampler started.
+
 ``{"type": "counter"|"gauge", "name": str, "value": number}``
     Legacy flat counters/gauges (no labels, cycle, or rank).
 
@@ -74,6 +84,7 @@ import json
 
 from .causal import NODE_KINDS, CausalMsg, CausalNode
 from .metrics import KINDS
+from .resource import ResourceSample
 from .tracer import PointEvent, Span, Tracer
 from .wallclock import ClockRecord
 
@@ -87,13 +98,14 @@ __all__ = [
     "validate_jsonl",
 ]
 
-SCHEMA_VERSION = "repro.obs/v4"
+SCHEMA_VERSION = "repro.obs/v5"
 
 #: Schemas :func:`read_jsonl`/:func:`validate_jsonl` accept, oldest first
 #: (v1 predates labelled metric records, v2 predates causal node/msg
-#: records, v3 predates measured-run clock records; all remain readable).
+#: records, v3 predates measured-run clock records, v4 predates resource
+#: samples; all remain readable).
 SUPPORTED_SCHEMAS = ("repro.obs/v1", "repro.obs/v2", "repro.obs/v3",
-                     SCHEMA_VERSION)
+                     "repro.obs/v4", SCHEMA_VERSION)
 
 
 class SchemaError(ValueError):
@@ -104,7 +116,7 @@ class SchemaError(ValueError):
 
 
 def export_jsonl(tracer: Tracer, path) -> int:
-    """Write the tracer to ``path`` in the v4 JSONL schema.
+    """Write the tracer to ``path`` in the v5 JSONL schema.
 
     Open spans are skipped (a trace is exported after the run).  Returns
     the number of records written, including the meta line.
@@ -122,6 +134,7 @@ def export_jsonl(tracer: Tracer, path) -> int:
             "nodes": len(tracer.causal_nodes),
             "msgs": len(tracer.causal_msgs),
             "clocks": len(tracer.clock_records),
+            "resources": len(tracer.resource_samples),
         }
     ]
     for s in spans:
@@ -202,6 +215,17 @@ def export_jsonl(tracer: Tracer, path) -> int:
                 "skew": c.skew,
             }
         )
+    for r in tracer.resource_samples:
+        records.append(
+            {
+                "type": "resource",
+                "rank": r.rank,
+                "t": r.t,
+                "rss_bytes": r.rss_bytes,
+                "cpu_seconds": r.cpu_seconds,
+                "gc_collections": r.gc_collections,
+            }
+        )
     for name, value in tracer.counters.items():
         records.append({"type": "counter", "name": name, "value": value})
     for name, value in tracer.gauges.items():
@@ -214,7 +238,7 @@ def export_jsonl(tracer: Tracer, path) -> int:
 
 
 def read_jsonl(path) -> Tracer:
-    """Reconstruct a tracer from a v1-v4 JSONL file (validates on the way)."""
+    """Reconstruct a tracer from a v1-v5 JSONL file (validates on the way)."""
     validate_jsonl(path)
     tracer = Tracer()
     with open(path) as fh:
@@ -290,6 +314,16 @@ def read_jsonl(path) -> Tracer:
                         skew=rec["skew"],
                     )
                 )
+            elif rec["type"] == "resource":
+                tracer.resource_samples.append(
+                    ResourceSample(
+                        rank=rec["rank"],
+                        t=rec["t"],
+                        rss_bytes=rec["rss_bytes"],
+                        cpu_seconds=rec["cpu_seconds"],
+                        gc_collections=rec["gc_collections"],
+                    )
+                )
             elif rec["type"] == "counter":
                 tracer.counters[rec["name"]] = rec["value"]
             elif rec["type"] == "gauge":
@@ -320,12 +354,14 @@ _REQUIRED = {
             "nwords": int, "send_node": int},
     "clock": {"run": int, "rank": int, "offset": (int, float),
               "skew": (int, float)},
+    "resource": {"t": (int, float), "rss_bytes": (int, float),
+                 "cpu_seconds": (int, float), "gc_collections": int},
     "counter": {"name": str, "value": (int, float)},
     "gauge": {"name": str, "value": (int, float)},
 }
 _NULLABLE_INT = {"span": ("parent", "rank"), "event": ("rank", "span"),
                  "metric": ("cycle", "rank"), "node": ("msg",),
-                 "msg": ("recv_node",)}
+                 "msg": ("recv_node",), "resource": ("rank",)}
 
 
 def _is_number(v) -> bool:
@@ -356,16 +392,17 @@ def _check_metric(rec, lineno: int) -> None:
 
 
 def validate_jsonl(path) -> dict:
-    """Validate a JSONL trace against the v4 (or legacy v1-v3) schema.
+    """Validate a JSONL trace against the v5 (or legacy v1-v4) schema.
 
     Raises :class:`SchemaError` on the first violation; returns a summary
     ``{"spans": N, "events": M, "counters": C, "gauges": G, "metrics": K,
-    "nodes": D, "msgs": S, "clocks": W}`` on success (``metrics`` is 0 for
-    v1 files, ``nodes``/``msgs`` are 0 for v1/v2 files, and ``clocks`` is
-    0 for v1-v3 files, which may not contain the corresponding records).
+    "nodes": D, "msgs": S, "clocks": W, "resources": R}`` on success
+    (``metrics`` is 0 for v1 files, ``nodes``/``msgs`` are 0 for v1/v2
+    files, ``clocks`` is 0 for v1-v3 files, and ``resources`` is 0 for
+    v1-v4 files, which may not contain the corresponding records).
     """
     counts = {"span": 0, "event": 0, "metric": 0, "node": 0, "msg": 0,
-              "clock": 0, "counter": 0, "gauge": 0}
+              "clock": 0, "resource": 0, "counter": 0, "gauge": 0}
     meta = None
     schema = None
     version = 0
@@ -421,6 +458,8 @@ def validate_jsonl(path) -> dict:
                             )
                 if version >= 4 and not isinstance(rec.get("clocks"), int):
                     raise SchemaError("meta missing integer 'clocks' count")
+                if version >= 5 and not isinstance(rec.get("resources"), int):
+                    raise SchemaError("meta missing integer 'resources' count")
                 continue
             if kind == "metric":
                 if version < 2:
@@ -439,10 +478,24 @@ def validate_jsonl(path) -> dict:
                 if version < 4:
                     raise SchemaError(
                         f"line {lineno}: clock records require schema "
-                        f"{SCHEMA_VERSION!r}, file declares {schema!r}"
+                        f"'repro.obs/v4' or later, file declares {schema!r}"
                     )
                 if rec["skew"] < 0:
                     raise SchemaError(f"line {lineno}: negative clock skew")
+            if kind == "resource":
+                if version < 5:
+                    raise SchemaError(
+                        f"line {lineno}: resource records require schema "
+                        f"{SCHEMA_VERSION!r}, file declares {schema!r}"
+                    )
+                if "rank" not in rec:
+                    raise SchemaError(f"line {lineno}: resource missing 'rank'")
+                for key in ("t", "rss_bytes", "cpu_seconds",
+                            "gc_collections"):
+                    if rec[key] < 0:
+                        raise SchemaError(
+                            f"line {lineno}: negative resource.{key}"
+                        )
             if kind in ("node", "msg"):
                 if version < 3:
                     raise SchemaError(
@@ -498,6 +551,8 @@ def validate_jsonl(path) -> dict:
         expected.extend([("node", "nodes"), ("msg", "msgs")])
     if version >= 4:
         expected.append(("clock", "clocks"))
+    if version >= 5:
+        expected.append(("resource", "resources"))
     for kind, key in expected:
         if counts[kind] != meta[key]:
             raise SchemaError(
@@ -506,7 +561,8 @@ def validate_jsonl(path) -> dict:
     return {"spans": counts["span"], "events": counts["event"],
             "counters": counts["counter"], "gauges": counts["gauge"],
             "metrics": counts["metric"], "nodes": counts["node"],
-            "msgs": counts["msg"], "clocks": counts["clock"]}
+            "msgs": counts["msg"], "clocks": counts["clock"],
+            "resources": counts["resource"]}
 
 
 # --- Chrome trace ------------------------------------------------------------

@@ -197,6 +197,29 @@ def _wall_analysis(tracer: Tracer):
     return analysis if analysis.runs else None
 
 
+def _resource_rows(tracer: Tracer) -> tuple[list[str], list[list[str]]]:
+    """Per-process resource-peak table from the trace's ``resource``
+    records (v5 traces; empty for older files)."""
+    from .resource import resource_peaks
+
+    peaks = resource_peaks(getattr(tracer, "resource_samples", ()))
+    if not peaks:
+        return [], []
+    headers = ["process", "peak rss (MiB)", "cpu (s)", "gc collections",
+               "samples"]
+    rows = []
+    for key in sorted(peaks, key=lambda k: (k is not None, k)):
+        d = peaks[key]
+        rows.append([
+            "host" if key is None else f"rank {key}",
+            f"{d['peak_rss_bytes'] / (1 << 20):.1f}",
+            _fmt(d["cpu_seconds"]),
+            _fmt(d["gc_collections"]),
+            _fmt(d["samples"]),
+        ])
+    return headers, rows
+
+
 def _rank_path_stats(analysis) -> tuple[dict[int, float], dict[int, float]]:
     """Per-rank (on-path seconds, summed slack) across all VM runs."""
     on_path: dict[int, float] = {}
@@ -352,6 +375,12 @@ def render_ascii(tracer: Tracer, source: str = "", top: int = 10) -> str:
             [[_fmt(c) for c in row] for row in rank_rows]
             + [[str(totals[0])] + [_fmt(c) for c in totals[1:]]],
         ))
+
+    res_headers, res_rows = _resource_rows(tracer)
+    if res_rows:
+        parts.append("")
+        parts.append("Resource usage (per process)")
+        parts.append(_table(res_headers, res_rows))
 
     analysis = _causal_analysis(tracer)
     if analysis is not None:
@@ -862,6 +891,22 @@ def render_html(tracer: Tracer, title: str = "repro run report",
         sections.append(
             f"<section><h2>Transport counters — {_html.escape(backend or 'backend')}</h2>"
             + bars + table + "</section>"
+        )
+
+    res_headers, res_rows = _resource_rows(tracer)
+    if res_rows:
+        from .resource import resource_peaks
+
+        peaks = resource_peaks(tracer.resource_samples)
+        rss_by_rank = {
+            k: d["peak_rss_bytes"] / (1 << 20)
+            for k, d in peaks.items() if k is not None
+        }
+        bars = _svg_rank_bars(rss_by_rank, unit=" MiB peak RSS") \
+            if rss_by_rank else ""
+        sections.append(
+            "<section><h2>Resource usage (per process)</h2>"
+            + bars + _html_table(res_headers, res_rows) + "</section>"
         )
 
     spans = _top_spans(tracer, top)

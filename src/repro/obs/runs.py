@@ -1,0 +1,541 @@
+"""Cross-run history store and regression analytics (``.repro_runs/``).
+
+Every traced run so far has been an island: a JSONL file compared, at
+best, against the single committed bench baseline.  This module gives
+runs a durable, queryable history — the substrate the ROADMAP's
+trace-driven adaptive control reads its policy evidence from:
+
+:class:`RunStore`
+    A directory (default ``.repro_runs/``, override with the
+    ``REPRO_RUNS_DIR`` environment variable) holding one small JSON
+    document per indexed run (schema ``repro.runs/v1``): creation time,
+    kind (``trace`` or ``bench``), label, a hash of the run
+    configuration, the backends involved, and a flat map of headline
+    metrics (makespan, wall seconds, per-phase virtual seconds, balance
+    quality, transport totals, resource peaks).  One-file-per-run keeps
+    concurrent writers (CI shards, parallel local runs) conflict-free.
+
+:func:`summarize_trace`
+    Extract the headline-metric map from a trace file or in-memory
+    tracer — phase virtual seconds, critical-path makespan, measured
+    wall makespans, partition quality, remap volume, transport counters,
+    and ``repro.resource.*`` peaks.
+
+:func:`compare_records` / :func:`find_regressions`
+    Metric-by-metric deltas between two runs, and regression flagging of
+    a candidate run against a *rolling baseline* — the median of the
+    most recent matching runs (same kind, label, and config hash) —
+    with a lower-is-better convention everywhere except explicit
+    higher-is-better names (speedups).
+
+Surfaced as ``repro runs list|show|compare|regress|index``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "RUNS_SCHEMA",
+    "RunRecord",
+    "RunStore",
+    "Regression",
+    "compare_records",
+    "default_store_dir",
+    "find_regressions",
+    "format_compare",
+    "format_record",
+    "format_regressions",
+    "format_runs_list",
+    "hash_config",
+    "summarize_trace",
+]
+
+RUNS_SCHEMA = "repro.runs/v1"
+
+#: Metric names where larger is better; everything else is treated as a
+#: cost (smaller is better) for regression flagging.
+HIGHER_IS_BETTER = ("speedup", "ops_per_second", "throughput")
+
+#: Default rolling-baseline window (#prior matching runs) for ``regress``.
+DEFAULT_WINDOW = 5
+
+#: Default allowed cost factor vs the rolling baseline before flagging.
+DEFAULT_THRESHOLD = 1.15
+
+#: Absolute slack (in the metric's own unit) added to the relative gate
+#: so timer noise on near-zero costs does not trip it.
+DEFAULT_ABS_SLACK = 1e-9
+
+
+def default_store_dir() -> str:
+    """The store root: ``$REPRO_RUNS_DIR`` or ``.repro_runs`` in the cwd."""
+    return os.environ.get("REPRO_RUNS_DIR") or os.path.join(
+        os.getcwd(), ".repro_runs"
+    )
+
+
+def hash_config(config: dict | None) -> str:
+    """Stable short hash of a run-configuration mapping."""
+    text = json.dumps(config or {}, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+
+@dataclass
+class RunRecord:
+    """One indexed run (document schema ``repro.runs/v1``)."""
+
+    id: str
+    created: str  #: ISO-8601 UTC
+    kind: str  #: "trace" | "bench"
+    label: str
+    config: dict = field(default_factory=dict)
+    config_hash: str = ""
+    source: str = ""  #: trace path / bench name the record came from
+    backends: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)  #: flat name -> number
+
+    def __post_init__(self):
+        if not self.config_hash:
+            self.config_hash = hash_config(self.config)
+
+    @property
+    def baseline_key(self) -> tuple:
+        """Records with the same key form one rolling-baseline series."""
+        return (self.kind, self.label, self.config_hash)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": RUNS_SCHEMA,
+            "id": self.id,
+            "created": self.created,
+            "kind": self.kind,
+            "label": self.label,
+            "config": self.config,
+            "config_hash": self.config_hash,
+            "source": self.source,
+            "backends": list(self.backends),
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "RunRecord":
+        if doc.get("schema") != RUNS_SCHEMA:
+            raise ValueError(
+                f"unsupported run-record schema {doc.get('schema')!r} "
+                f"(expected {RUNS_SCHEMA!r})"
+            )
+        return cls(
+            id=doc["id"],
+            created=doc["created"],
+            kind=doc["kind"],
+            label=doc["label"],
+            config=doc.get("config", {}),
+            config_hash=doc.get("config_hash", ""),
+            source=doc.get("source", ""),
+            backends=list(doc.get("backends", ())),
+            metrics=dict(doc.get("metrics", {})),
+        )
+
+
+class RunStore:
+    """One-JSON-file-per-run store under ``root`` (created lazily)."""
+
+    def __init__(self, root: str | None = None):
+        self.root = root or default_store_dir()
+
+    def _path(self, run_id: str) -> str:
+        return os.path.join(self.root, f"{run_id}.json")
+
+    def add(self, kind: str, label: str, metrics: dict,
+            config: dict | None = None, source: str = "",
+            backends=(), run_id: str | None = None) -> RunRecord:
+        """Index one run; returns the stored record (id auto-allocated)."""
+        if run_id is None:
+            stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+            salt = hashlib.sha256(os.urandom(16)).hexdigest()[:8]
+            run_id = f"{stamp}-{salt}"
+        rec = RunRecord(
+            id=run_id,
+            created=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            kind=kind,
+            label=label,
+            config=dict(config or {}),
+            config_hash="",
+            source=source,
+            backends=sorted(backends),
+            metrics={k: float(v) for k, v in metrics.items()
+                     if isinstance(v, (int, float))
+                     and not isinstance(v, bool)},
+        )
+        os.makedirs(self.root, exist_ok=True)
+        tmp = self._path(run_id) + f".tmp.{os.getpid()}"
+        with open(tmp, "w") as fh:
+            json.dump(rec.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self._path(run_id))
+        return rec
+
+    def get(self, run_id: str) -> RunRecord:
+        """Load one record by exact id or unique prefix."""
+        path = self._path(run_id)
+        if not os.path.exists(path):
+            matches = [r for r in self.ids() if r.startswith(run_id)]
+            if len(matches) == 1:
+                path = self._path(matches[0])
+            elif matches:
+                raise KeyError(
+                    f"run id prefix {run_id!r} is ambiguous: {matches}"
+                )
+            else:
+                raise KeyError(f"no run {run_id!r} in {self.root}")
+        with open(path) as fh:
+            return RunRecord.from_json(json.load(fh))
+
+    def ids(self) -> list[str]:
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(
+            n[:-5] for n in names
+            if n.endswith(".json") and not n.startswith(".")
+        )
+
+    def records(self) -> list[RunRecord]:
+        """Every readable record, oldest first (id order == time order)."""
+        out = []
+        for run_id in self.ids():
+            try:
+                out.append(self.get(run_id))
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                continue  # skip foreign/corrupt files, never fail a listing
+        return out
+
+    def __len__(self) -> int:
+        return len(self.ids())
+
+
+# --- trace summarization -----------------------------------------------------
+
+
+def summarize_trace(tracer) -> tuple[dict, list[str]]:
+    """Headline ``(metrics, backends)`` for one tracer (or trace path).
+
+    The metric map is flat name -> float: total/per-phase virtual
+    seconds, host wall seconds, virtual and measured critical-path
+    makespans, partition quality, remap volume, transport totals, and
+    resource peaks — exactly the columns cross-run comparison needs.
+    """
+    from .causal import analyze
+    from .resource import resource_peaks
+
+    if isinstance(tracer, (str, os.PathLike)):
+        from .export import read_jsonl
+
+        tracer = read_jsonl(tracer)
+
+    metrics: dict[str, float] = {}
+    roots = [s for s in tracer.spans if s.parent is None and not s.open]
+    if roots:
+        metrics["wall_seconds"] = sum(s.wall_duration for s in roots)
+        metrics["virtual_seconds"] = sum(s.v_duration for s in roots)
+    phase_v: dict[str, float] = {}
+    for s in tracer.spans:
+        if s.parent is not None and not s.open:
+            phase_v[s.name] = phase_v.get(s.name, 0.0) + s.v_duration
+    for name, v in sorted(phase_v.items()):
+        metrics[f"phase.{name}.virtual_seconds"] = v
+
+    analysis = analyze(tracer)
+    if analysis.runs or analysis.supersteps:
+        metrics["makespan"] = analysis.makespan
+    wall = analyze(tracer, clock="wall")
+    if wall.runs:
+        metrics["wall_makespan"] = wall.makespan
+
+    reg = tracer.metrics
+    for name, labels, key in (
+        ("repro.partition.imbalance", {"when": "before"}, "imbalance_before"),
+        ("repro.partition.imbalance", {"when": "after"}, "imbalance_after"),
+    ):
+        v = reg.max_value(name, labels)
+        if v is not None:
+            metrics[key] = v
+    for name, key in (
+        ("repro.remap.elements_moved", "remap_elements_moved"),
+        ("repro.remap.words_moved", "remap_words_moved"),
+        ("repro.transport.bytes_zero_copy", "transport_bytes_zero_copy"),
+        ("repro.transport.bytes_pickled", "transport_bytes_pickled"),
+        ("repro.transport.spills", "transport_spills"),
+    ):
+        if reg.max_value(name) is not None:
+            # rank-labelled transport series double the unlabelled totals,
+            # so only sum the rank-free samples when both exist
+            total = sum(
+                float(s.value) for s in reg.samples()
+                if s.name == name and s.rank is None
+            ) or reg.total(name)
+            metrics[key] = total
+
+    peaks = resource_peaks(getattr(tracer, "resource_samples", ()))
+    if peaks:
+        metrics["peak_rss_bytes"] = max(
+            d["peak_rss_bytes"] for d in peaks.values()
+        )
+        metrics["cpu_seconds"] = sum(
+            d["cpu_seconds"] for d in peaks.values()
+        )
+        metrics["gc_collections"] = sum(
+            d["gc_collections"] for d in peaks.values()
+        )
+        metrics["resource_samples"] = sum(
+            d["samples"] for d in peaks.values()
+        )
+
+    backends = sorted({
+        s.labels_dict["backend"]
+        for s in reg.samples()
+        if s.name.startswith("repro.backend.") and "backend" in s.labels_dict
+    })
+    return metrics, backends
+
+
+def index_trace(store: RunStore, trace_path, label: str = "",
+                config: dict | None = None,
+                extra_metrics: dict | None = None) -> RunRecord:
+    """Summarize ``trace_path`` and add it to ``store`` as a trace run."""
+    metrics, backends = summarize_trace(trace_path)
+    if extra_metrics:
+        metrics.update(extra_metrics)
+    return store.add(
+        kind="trace",
+        label=label or os.path.basename(str(trace_path)),
+        metrics=metrics,
+        config=config,
+        source=str(trace_path),
+        backends=backends,
+    )
+
+
+def index_bench_results(store: RunStore, doc: dict,
+                        profile: str | None = None) -> list[RunRecord]:
+    """Index each bench of a ``repro.bench/v1`` results doc as one record.
+
+    Called by ``scripts/bench_suite.py`` after every run, so the perf
+    trajectory accrues automatically from CI and local runs.
+    """
+    out = []
+    for prof, run in doc.get("runs", {}).items():
+        if profile is not None and prof != profile:
+            continue
+        for name, rec in run.get("benches", {}).items():
+            metrics = {
+                "wall_seconds": rec["wall_seconds"],
+                "virtual_seconds": sum(
+                    rec.get("virtual_phase_seconds", {}).values()
+                ),
+            }
+            for phase, v in rec.get("virtual_phase_seconds", {}).items():
+                metrics[f"phase.{phase}.virtual_seconds"] = v
+            for k, v in rec.get("metrics", {}).items():
+                metrics[k] = v
+            cp = rec.get("critical_path", {})
+            if "makespan" in cp:
+                metrics["makespan"] = cp["makespan"]
+            if "speedup_vs_reference" in rec:
+                metrics["speedup_vs_reference"] = rec["speedup_vs_reference"]
+            out.append(store.add(
+                kind="bench",
+                label=f"{prof}/{name}",
+                metrics=metrics,
+                config={
+                    "profile": prof,
+                    "resolution": run.get("resolution"),
+                    "machine_model": doc.get("suite", {}).get("machine_model"),
+                    "seed": doc.get("suite", {}).get("seed"),
+                    "bench": name,
+                },
+                source=name,
+            ))
+    return out
+
+
+# --- analytics ---------------------------------------------------------------
+
+
+def _is_higher_better(name: str) -> bool:
+    return any(tok in name for tok in HIGHER_IS_BETTER)
+
+
+def compare_records(a: RunRecord, b: RunRecord) -> list[tuple]:
+    """``(metric, a_value, b_value, delta, pct)`` rows over both metric maps.
+
+    ``delta = b - a``; ``pct`` is the relative change vs ``a`` (None for
+    a zero/missing base).  Metrics present on only one side get a None
+    on the missing side.
+    """
+    rows = []
+    for name in sorted(set(a.metrics) | set(b.metrics)):
+        va, vb = a.metrics.get(name), b.metrics.get(name)
+        if va is None or vb is None:
+            rows.append((name, va, vb, None, None))
+            continue
+        delta = vb - va
+        pct = (delta / abs(va) * 100.0) if va else None
+        rows.append((name, va, vb, delta, pct))
+    return rows
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric of a candidate run flagged against its rolling baseline."""
+
+    metric: str
+    candidate: float
+    baseline: float  #: rolling-baseline value (median over the window)
+    factor: float  #: candidate/baseline for costs, inverted for benefits
+    window: int  #: number of baseline runs the median was taken over
+
+
+def _median(values: list[float]) -> float:
+    vs = sorted(values)
+    n = len(vs)
+    mid = n // 2
+    return vs[mid] if n % 2 else (vs[mid - 1] + vs[mid]) / 2.0
+
+
+def find_regressions(
+    history: list[RunRecord],
+    candidate: RunRecord,
+    window: int = DEFAULT_WINDOW,
+    threshold: float = DEFAULT_THRESHOLD,
+    abs_slack: float = DEFAULT_ABS_SLACK,
+) -> tuple[list[Regression], int]:
+    """Flag candidate metrics that regressed vs the rolling baseline.
+
+    The baseline pool is the most recent ``window`` runs in ``history``
+    sharing the candidate's :attr:`RunRecord.baseline_key` (the candidate
+    itself is excluded); each metric's baseline is the median over the
+    pool.  A cost metric regresses when ``candidate > baseline *
+    threshold + abs_slack``; a higher-is-better metric (speedups) when
+    ``candidate < baseline / threshold``.  Returns ``(flags, pool_size)``
+    — a zero pool means there is nothing to compare against yet.
+    """
+    pool = [
+        r for r in history
+        if r.baseline_key == candidate.baseline_key and r.id != candidate.id
+        and r.created <= candidate.created
+    ][-window:]
+    if not pool:
+        return [], 0
+    flags: list[Regression] = []
+    for name, value in sorted(candidate.metrics.items()):
+        base_values = [r.metrics[name] for r in pool if name in r.metrics]
+        if not base_values:
+            continue
+        base = _median(base_values)
+        if _is_higher_better(name):
+            if base > 0 and value < base / threshold:
+                flags.append(Regression(
+                    metric=name, candidate=value, baseline=base,
+                    factor=base / value if value else float("inf"),
+                    window=len(base_values),
+                ))
+        elif value > base * threshold + abs_slack:
+            flags.append(Regression(
+                metric=name, candidate=value, baseline=base,
+                factor=value / base if base else float("inf"),
+                window=len(base_values),
+            ))
+    flags.sort(key=lambda f: -f.factor)
+    return flags, len(pool)
+
+
+# --- formatting --------------------------------------------------------------
+
+
+def _fmt_v(v) -> str:
+    if v is None:
+        return "-"
+    a = abs(v)
+    if a >= 1e6 or (a > 0 and a < 1e-4):
+        return f"{v:.4g}"
+    return f"{v:.6g}"
+
+
+def format_runs_list(records: list[RunRecord]) -> str:
+    """One row per stored run, newest last."""
+    if not records:
+        return "no runs stored (index one with `repro runs index <trace>`)"
+    lines = [
+        f"{'id':<24s} {'kind':<6s} {'label':<28s} {'backends':<16s} "
+        f"{'makespan':>10s} {'wall s':>9s}"
+    ]
+    for r in records:
+        makespan = r.metrics.get("makespan")
+        wall = r.metrics.get("wall_seconds")
+        lines.append(
+            f"{r.id:<24.24s} {r.kind:<6.6s} {r.label:<28.28s} "
+            f"{','.join(r.backends) or '-':<16.16s} "
+            f"{_fmt_v(makespan):>10s} {_fmt_v(wall):>9s}"
+        )
+    lines.append(f"{len(records)} run(s)")
+    return "\n".join(lines)
+
+
+def format_record(rec: RunRecord) -> str:
+    lines = [
+        f"run {rec.id}",
+        f"  created:  {rec.created}",
+        f"  kind:     {rec.kind}",
+        f"  label:    {rec.label}",
+        f"  source:   {rec.source or '-'}",
+        f"  backends: {', '.join(rec.backends) or '-'}",
+        f"  config:   {json.dumps(rec.config, sort_keys=True)} "
+        f"(hash {rec.config_hash})",
+        "  metrics:",
+    ]
+    for name, v in sorted(rec.metrics.items()):
+        lines.append(f"    {name:<40s} {_fmt_v(v):>14s}")
+    return "\n".join(lines)
+
+
+def format_compare(a: RunRecord, b: RunRecord) -> str:
+    rows = compare_records(a, b)
+    lines = [
+        f"comparing {a.id} (A) vs {b.id} (B):",
+        f"  {'metric':<40s} {'A':>14s} {'B':>14s} {'delta':>14s} {'pct':>8s}",
+    ]
+    for name, va, vb, delta, pct in rows:
+        pct_s = f"{pct:+7.1f}%" if pct is not None else "       -"
+        lines.append(
+            f"  {name:<40.40s} {_fmt_v(va):>14s} {_fmt_v(vb):>14s} "
+            f"{_fmt_v(delta):>14s} {pct_s:>8s}"
+        )
+    return "\n".join(lines)
+
+
+def format_regressions(candidate: RunRecord, flags: list[Regression],
+                       pool: int, threshold: float) -> str:
+    head = (f"regression check for {candidate.id} "
+            f"({candidate.kind} {candidate.label!r}) against a rolling "
+            f"baseline of {pool} matching run(s), threshold "
+            f"{threshold:.2f}x:")
+    if pool == 0:
+        return (head + "\n  no matching prior runs "
+                "(same kind, label, and config hash) — nothing to compare")
+    if not flags:
+        return head + "\n  OK: no metric regressed"
+    lines = [head]
+    for f in flags:
+        lines.append(
+            f"  REGRESSION {f.metric}: {_fmt_v(f.candidate)} vs baseline "
+            f"{_fmt_v(f.baseline)} ({f.factor:.2f}x worse, "
+            f"median of {f.window})"
+        )
+    return "\n".join(lines)

@@ -27,7 +27,16 @@ estimates every child's clock offset with an NTP-style pipe handshake run
 are constants of the monotonic clocks), and the streams then merge
 into ``CausalNode``/``CausalMsg`` lists under a ``vm.run`` marker with
 ``clock="wall"`` — so ``repro critical-path``, ``repro report`` and
-``repro diff`` work on measured runs exactly as on modelled ones.  Scheduling
+``repro diff`` work on measured runs exactly as on modelled ones.  A traced
+run also starts a :class:`~repro.obs.resource.ResourceSampler` in every
+rank process; the sampled RSS/CPU/GC columns ship back with the result and
+land in the trace as ``resource`` records plus per-rank
+``repro.resource.*`` metrics (schema v5).  When a live telemetry hub is
+installed (:func:`repro.obs.live.use_live`, i.e. ``repro step --live``),
+ranks additionally stream progress and resource frames over the hub's
+:class:`~repro.obs.live.LiveChannel` — a bounded queue written with
+``put_nowait`` that drops on overflow, so the dashboard can never stall
+the measured clock path.  Scheduling
 is the OS's, so arrival *interleaving* across sources is nondeterministic
 — programs whose results depend only on mailbox matching semantics (all
 of this library's) produce payload-identical results to ``virtual``,
@@ -82,7 +91,8 @@ class MultiprocessingBackend:
 
     def __init__(self, nranks: int, machine: MachineModel = SP2_1997,
                  timeout: float = DEFAULT_TIMEOUT,
-                 grace: float = DEFAULT_GRACE, tracer=None, **_ignored):
+                 grace: float = DEFAULT_GRACE, tracer=None,
+                 resource_interval: float | None = None, **_ignored):
         if nranks < 1:
             raise ValueError(f"need at least one rank, got {nranks}")
         if grace < 0:
@@ -99,6 +109,9 @@ class MultiprocessingBackend:
         self.timeout = timeout
         self.grace = float(grace)
         self.tracer = tracer  # wall metrics only; no causal record
+        #: Seconds between per-rank resource samples (None = library
+        #: default); sampling runs whenever a tracer or live hub is on.
+        self.resource_interval = resource_interval
 
     def _make_transport(self, ctx):
         """Hook for subclasses: build the per-run wire transport (parent
@@ -129,6 +142,20 @@ class MultiprocessingBackend:
         recording = self.tracer is not None
         pipes = [ctx.Pipe() for _ in range(self.nranks)] if recording else []
 
+        # Live telemetry: ranks stream frames over the ambient hub's side
+        # channel (fork-inherited bounded queue; see repro.obs.live).
+        # Resource sampling runs whenever anyone will consume it — the
+        # tracer (v5 resource records) or a live dashboard.
+        from ...obs.live import current_live
+
+        hub = current_live()
+        channel = hub.channel if hub is not None else None
+        res_interval = None
+        if recording or channel is not None:
+            from ...obs.resource import DEFAULT_INTERVAL
+
+            res_interval = self.resource_interval or DEFAULT_INTERVAL
+
         procs = []
         t0 = time.perf_counter()
         for r in range(self.nranks):
@@ -141,7 +168,8 @@ class MultiprocessingBackend:
             p = ctx.Process(
                 target=_rank_worker,
                 args=(r, self.nranks, self.machine, program, a, kw,
-                      inboxes, result_q, self.timeout, transport, sync),
+                      inboxes, result_q, self.timeout, transport, sync,
+                      channel, res_interval),
                 daemon=True,
             )
             p.start()
@@ -225,6 +253,7 @@ class MultiprocessingBackend:
         words_s, msgs_s, words_r, msgs_r = [], [], [], []
         transport_per_rank: list[dict] = []
         streams: dict[int, dict] = {}
+        res_rows: dict[int, dict] = {}
         for r in range(self.nranks):
             retval, stats = results[r]
             returns.append(retval)
@@ -237,6 +266,8 @@ class MultiprocessingBackend:
             transport_per_rank.append(stats.get("transport", {}))
             if "rec" in stats:
                 streams[r] = stats["rec"]
+            if "res" in stats:
+                res_rows[r] = stats["res"]
         makespan = max(clocks) if clocks else 0.0
         busy = [c - w for c, w in zip(clocks, waited)]
         idle = [makespan - b for b in busy]
@@ -248,10 +279,15 @@ class MultiprocessingBackend:
                     transport_totals[k] = transport_totals.get(k, 0) + v
             transport.note_run_totals(transport_totals)
         if self.tracer is not None:
+            from ...obs.resource import record_resource_samples
+
             for r in range(self.nranks):
                 self.tracer.metric(
                     "repro.backend.rank_wall_seconds", clocks[r],
                     kind="counter", rank=r, backend=self.name,
+                )
+                record_resource_samples(
+                    self.tracer, res_rows.get(r), rank=r, backend=self.name,
                 )
             if transport_totals is not None:
                 for key in _TRANSPORT_METRIC_KEYS:
@@ -308,11 +344,13 @@ class MultiprocessingBackend:
 
 
 def _rank_worker(rank, size, machine, program, args, kwargs,
-                 inboxes, result_q, timeout, transport=None, sync=None):
+                 inboxes, result_q, timeout, transport=None, sync=None,
+                 channel=None, res_interval=None):
     """Child-process entry: drive one rank's generator over the queues."""
     try:
         retval, stats = _drive(rank, size, machine, program, args, kwargs,
-                               inboxes, timeout, transport, sync)
+                               inboxes, timeout, transport, sync,
+                               channel, res_interval)
         result_q.put(("ok", rank, retval, stats))
     except _RecvTimeout as exc:
         result_q.put(("error", rank, "deadlock", str(exc)))
@@ -324,8 +362,12 @@ class _RecvTimeout(RuntimeError):
     pass
 
 
+#: Seconds between live progress frames a rank streams over the channel.
+_PROGRESS_INTERVAL = 0.1
+
+
 def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
-           transport=None, sync=None):
+           transport=None, sync=None, channel=None, res_interval=None):
     from ..simcomm import Comm
 
     comm = Comm(rank, size, machine)
@@ -354,8 +396,21 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
         from ...obs.wallclock import WallRecorder
 
         rec = WallRecorder()
+    sampler = None
+    if res_interval is not None:
+        # Resource telemetry: a daemon thread sampling this process's
+        # RSS/CPU/GC off the hot path; the emit callback streams each
+        # sample to the live dashboard (drop-on-full, never blocks).
+        from ...obs.resource import ResourceSampler
+
+        emit = None
+        if channel is not None:
+            def emit(t, rss, cpu, gcs, _c=channel, _r=rank):
+                _c.emit_resource(_r, t, rss, cpu, gcs)
+        sampler = ResourceSampler(res_interval, rank=rank, emit=emit).start()
     #: local mailbox seq -> global message id (recording runs only)
     mid_by_seq: dict[int, int] = {}
+    next_prog = 0.0
     t0 = time.perf_counter()
     if rec is not None:
         rec.start(t0)
@@ -380,6 +435,12 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
             retval = stop.value
             break
         value = None
+        if channel is not None:
+            now = time.perf_counter()
+            if now >= next_prog:
+                next_prog = now + _PROGRESS_INTERVAL
+                channel.emit_progress(rank, now - t0, msgs_sent,
+                                      words_sent, waited)
         if isinstance(op, SendOp):
             if not 0 <= op.dest < size:
                 raise ValueError(f"rank {rank}: send to invalid rank {op.dest}")
@@ -465,6 +526,9 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
             raise TypeError(f"rank {rank} yielded unknown op {op!r}")
 
     t_end = time.perf_counter()
+    if channel is not None:
+        channel.emit_progress(rank, t_end - t0, msgs_sent,
+                              words_sent, waited)
     stats = {
         "wall": t_end - t0,
         "waited": waited,
@@ -475,6 +539,10 @@ def _drive(rank, size, machine, program, args, kwargs, inboxes, timeout,
     }
     if transport is not None:
         stats["transport"] = dict(transport.counters)
+    if sampler is not None:
+        sampler.stop()
+        if rec is not None:  # only a traced run has somewhere to put rows
+            stats["res"] = sampler.rows()
     if rec is not None:
         rec.finish(t_end)
         stats["rec"] = rec.columns()

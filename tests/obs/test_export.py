@@ -69,7 +69,8 @@ def test_validate_accepts_fresh_export(tmp_path):
     export_jsonl(sample_tracer(), path)
     summary = validate_jsonl(path)
     assert summary == {"spans": 3, "events": 1, "counters": 1, "gauges": 1,
-                       "metrics": 0, "nodes": 0, "msgs": 0, "clocks": 0}
+                       "metrics": 0, "nodes": 0, "msgs": 0, "clocks": 0,
+                       "resources": 0}
 
 
 def test_metric_roundtrip(tmp_path):
@@ -114,11 +115,13 @@ def test_metric_record_rejected_in_v1_file(tmp_path):
 def _meta(schema=SCHEMA_VERSION, **counts) -> dict:
     base = {"type": "meta", "schema": schema, "spans": 0,
             "events": 0, "counters": 0, "gauges": 0, "metrics": 0,
-            "nodes": 0, "msgs": 0, "clocks": 0}
+            "nodes": 0, "msgs": 0, "clocks": 0, "resources": 0}
     if schema == "repro.obs/v2":
         del base["nodes"], base["msgs"]
     if schema in ("repro.obs/v2", "repro.obs/v3"):
         del base["clocks"]
+    if schema in ("repro.obs/v2", "repro.obs/v3", "repro.obs/v4"):
+        del base["resources"]
     base.update(counts)
     return base
 

@@ -1,0 +1,283 @@
+"""Live telemetry: hub folding, side channel, dashboard, status files."""
+
+import io
+import json
+
+from repro.obs.live import (
+    LiveChannel,
+    LiveDisplay,
+    TelemetryHub,
+    current_live,
+    default_status_dir,
+    load_status,
+    newest_status,
+    publish_status,
+    render_dashboard,
+    use_live,
+)
+from repro.obs.tracer import Tracer
+
+
+# --- TelemetryHub ------------------------------------------------------------
+
+
+def test_hub_phase_frames_fold_into_stack_and_history():
+    hub = TelemetryHub(title="t")
+    hub.publish("phase_begin", name="cycle")
+    hub.publish("phase_begin", name="exec")
+    assert hub.snapshot()["phase_stack"] == ["cycle", "exec"]
+    hub.publish("phase_end", name="exec", v_seconds=1.5, wall_seconds=0.1)
+    snap = hub.snapshot()
+    assert snap["phase_stack"] == ["cycle"]
+    assert snap["phases_done"] == [["exec", 1.5, 0.1]]
+
+
+def test_hub_cycle_run_status_dropped():
+    hub = TelemetryHub()
+    hub.publish("cycle", cycle=3)
+    hub.publish("run")
+    hub.publish("run")
+    hub.publish("dropped", count=5)
+    hub.publish("status", status="failed")
+    snap = hub.snapshot()
+    assert snap["cycle"] == 3 and snap["runs"] == 2
+    assert snap["frames_dropped"] == 5 and snap["status"] == "failed"
+
+
+def test_hub_rank_time_busy_fraction():
+    hub = TelemetryHub()
+    hub.publish("rank_time", name="repro.vm.rank_busy_seconds",
+                values=(3.0, 1.0))
+    hub.publish("rank_time", name="repro.vm.rank_idle_seconds",
+                values=(1.0, 3.0))
+    ranks = hub.snapshot()["ranks"]
+    assert ranks["0"] == {"busy": 3.0, "total": 4.0}
+    assert ranks["1"] == {"busy": 1.0, "total": 4.0}
+
+
+def test_hub_progress_and_resource_frames():
+    hub = TelemetryHub()
+    hub.publish("progress", rank=2, elapsed=1.0, msgs=10, words=640,
+                waited=0.25)
+    hub.publish("resource", rank=None, rss_bytes=2048.0, cpu_seconds=0.5,
+                gc_collections=7)
+    hub.publish("resource", rank=1, rss_bytes=1024.0, cpu_seconds=0.1,
+                gc_collections=2)
+    snap = hub.snapshot()
+    assert snap["ranks"]["2"]["msgs"] == 10
+    assert snap["resources"]["host"]["rss_bytes"] == 2048.0
+    assert snap["resources"]["1"]["gc_collections"] == 2
+
+
+def test_hub_ring_buffer_is_bounded():
+    hub = TelemetryHub(capacity=8)
+    for i in range(20):
+        hub.publish("cycle", cycle=i)
+    frames = hub.frames()
+    assert len(frames) == 8
+    assert frames[-1][2] == {"cycle": 19}
+
+
+def test_hub_snapshot_is_json_serialisable_copy():
+    hub = TelemetryHub()
+    hub.publish("progress", rank=0, msgs=1)
+    snap = hub.snapshot()
+    json.dumps(snap)  # must not raise
+    snap["ranks"]["0"]["msgs"] = 99
+    assert hub.snapshot()["ranks"]["0"]["msgs"] == 1
+
+
+# --- ambient hub -------------------------------------------------------------
+
+
+def test_use_live_installs_and_restores():
+    assert current_live() is None
+    hub = TelemetryHub()
+    with use_live(hub) as installed:
+        assert installed is hub and current_live() is hub
+    assert current_live() is None
+
+
+def test_tracer_publishes_into_ambient_hub():
+    hub = TelemetryHub()
+    with use_live(hub):
+        tr = Tracer()
+        with tr.phase("cycle", cycle=tr.begin_cycle()):
+            with tr.phase("exec"):
+                tr.advance(2.0)
+    kinds = [k for _, k, _ in hub.frames()]
+    assert "phase_begin" in kinds and "phase_end" in kinds
+    assert "cycle" in kinds
+    done = [name for name, _v, _w in hub.snapshot()["phases_done"]]
+    assert done == ["exec", "cycle"]
+
+
+def test_tracer_without_hub_publishes_nothing():
+    hub = TelemetryHub()
+    tr = Tracer()  # constructed outside use_live: no ambient hub
+    with tr.phase("exec"):
+        pass
+    assert not hub.frames()
+
+
+# --- LiveChannel -------------------------------------------------------------
+
+
+def test_channel_emit_and_drain():
+    hub = TelemetryHub()
+    ch = LiveChannel()
+    try:
+        ch.emit_progress(0, 1.0, 5, 320, 0.5)
+        ch.emit_resource(1, 0.2, 4096.0, 0.1, 3)
+        import time
+
+        deadline = time.time() + 5.0
+        drained = 0
+        while drained < 2 and time.time() < deadline:
+            drained += ch.drain(hub)  # feeder thread may lag put_nowait
+        assert drained == 2
+        snap = hub.snapshot()
+        assert snap["ranks"]["0"]["words"] == 320
+        assert snap["resources"]["1"]["rss_bytes"] == 4096.0
+    finally:
+        ch.close()
+
+
+def test_channel_drops_on_full_queue_without_blocking():
+    hub = TelemetryHub()
+    ch = LiveChannel(maxsize=1)
+    try:
+        for _ in range(200):
+            ch.emit_progress(0, 0.0, 0, 0, 0.0)
+        assert ch.dropped > 0  # full queue dropped frames instead of blocking
+        import time
+
+        deadline = time.time() + 5.0
+        drained = 0
+        while not drained and time.time() < deadline:
+            drained = ch.drain(hub)  # feeder thread may lag put_nowait
+        assert drained >= 1
+    finally:
+        ch.close()
+
+
+# --- render_dashboard --------------------------------------------------------
+
+
+def _full_snapshot():
+    hub = TelemetryHub(title="repro step r6 P4 shm")
+    hub.publish("cycle", cycle=2)
+    hub.publish("phase_begin", name="partition")
+    hub.publish("phase_end", name="partition", v_seconds=0.25,
+                wall_seconds=0.01)
+    hub.publish("phase_begin", name="exec")
+    hub.publish("run")
+    hub.publish("rank_time", name="repro.vm.rank_busy_seconds",
+                values=(1.0, 3.0))
+    hub.publish("rank_time", name="repro.vm.rank_idle_seconds",
+                values=(3.0, 1.0))
+    hub.publish("resource", rank=None, rss_bytes=64 << 20, cpu_seconds=1.5,
+                gc_collections=12)
+    hub.publish("resource", rank=0, rss_bytes=32 << 20, cpu_seconds=0.5,
+                gc_collections=3)
+    return hub.snapshot()
+
+
+def test_render_dashboard_sections():
+    text = render_dashboard(_full_snapshot())
+    assert "repro step r6 P4 shm  [running]" in text
+    assert "cycle 2 | phase: exec" in text
+    assert "recent phases: partition 0.250s" in text
+    assert "vm/backend runs: 1" in text
+    assert "per-rank busy/idle:" in text
+    assert "busy  25.0%" in text and "busy  75.0%" in text
+    assert "resources (rss / cpu / gc):" in text
+    assert "host" in text and "64.0MiB" in text
+
+
+def test_render_dashboard_empty_snapshot():
+    text = render_dashboard(TelemetryHub().snapshot())
+    assert "repro live" in text
+    assert "cycle - | phase: -" in text
+    assert "per-rank" not in text  # no rank section without rank data
+
+
+def test_render_dashboard_caps_rank_rows():
+    hub = TelemetryHub()
+    hub.publish("rank_time", name="repro.vm.rank_busy_seconds",
+                values=tuple(1.0 for _ in range(20)))
+    text = render_dashboard(hub.snapshot(), max_ranks=4)
+    assert "... and 16 more ranks" in text
+    assert text.count("\n  r") == 4
+
+
+# --- status files ------------------------------------------------------------
+
+
+def test_publish_load_newest_status(tmp_path):
+    sdir = tmp_path / "live"
+    a = str(sdir / "a.json")
+    b = str(sdir / "b.json")
+    publish_status({"title": "a", "elapsed": 1.0}, a)
+    publish_status({"title": "b", "elapsed": 2.0}, b)
+    import os
+
+    os.utime(a, (1, 1))  # force a to look older
+    assert load_status(a)["title"] == "a"
+    assert load_status(str(sdir / "missing.json")) is None
+    assert newest_status(str(sdir)) == b
+    assert newest_status(str(tmp_path / "nope")) is None
+    assert not [p for p in sdir.iterdir() if p.suffix != ".json"]  # no tmp left
+
+
+def test_default_status_dir_honours_runs_root(tmp_path):
+    assert default_status_dir(str(tmp_path)) == str(tmp_path / "live")
+
+
+# --- LiveDisplay -------------------------------------------------------------
+
+
+def test_live_display_off_tty_plain_snapshots(tmp_path):
+    hub = TelemetryHub(title="display test")
+    status = str(tmp_path / "status.json")
+    stream = io.StringIO()
+    with LiveDisplay(hub, stream=stream, interval=60.0, status_path=status):
+        hub.publish("cycle", cycle=1)
+        assert load_status(status) is not None  # published while running
+    out = stream.getvalue()
+    assert "display test" in out
+    assert "[done]" in out  # final frame after stop
+    assert load_status(status) is None  # unlinked on stop
+
+
+def test_live_display_marks_failed_on_exception(tmp_path):
+    hub = TelemetryHub()
+    stream = io.StringIO()
+    try:
+        with LiveDisplay(hub, stream=stream, interval=60.0):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert "[failed]" in stream.getvalue()
+
+
+def test_live_display_drains_channel_each_tick():
+    hub = TelemetryHub()
+    ch = LiveChannel()
+    try:
+        ch.emit_progress(3, 0.5, 2, 64, 0.0)
+        stream = io.StringIO()
+        display = LiveDisplay(hub, stream=stream, interval=60.0, channel=ch)
+        display.start()
+        import time
+
+        deadline = time.time() + 5.0
+        while "3" not in str(hub.snapshot()["ranks"]) \
+                and time.time() < deadline:
+            display._render_once()
+            time.sleep(0.01)
+        display.stop()
+        assert hub.snapshot()["ranks"]["3"]["words"] == 64
+        assert "r3" in stream.getvalue()
+    finally:
+        ch.close()

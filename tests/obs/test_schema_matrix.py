@@ -1,0 +1,161 @@
+"""Schema compatibility matrix: every reader handles every version.
+
+One minimal hand-written trace per supported schema version (v1-v5),
+pushed through every consumer we ship: ``read_jsonl``,
+``validate_jsonl``, ``render_ascii``, ``render_html``, and the causal
+``analyze`` entry point.  Old files must keep working forever; this is
+the test that enforces it.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.causal import analyze
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
+    read_jsonl,
+    validate_jsonl,
+)
+from repro.obs.report import render_ascii, render_html
+
+_SPAN = {"type": "span", "index": 0, "parent": None, "depth": 0,
+         "name": "cycle", "rank": None, "v_start": 0.0, "v_end": 2.0,
+         "wall_start": 0.0, "wall_end": 2.0, "attrs": {"cycle": 0}}
+_EVENT = {"type": "event", "name": "tick", "v_time": 1.0, "rank": 0,
+          "span": 0, "attrs": {}}
+_COUNTER = {"type": "counter", "name": "messages", "value": 3}
+_GAUGE = {"type": "gauge", "name": "imbalance", "value": 1.25}
+_METRIC = {"type": "metric", "name": "repro.lb.imbalance", "kind": "gauge",
+           "value": 1.25, "labels": {"strategy": "uf"}, "cycle": 0,
+           "rank": None, "v_time": 1.0}
+_VM_RUN = {"type": "event", "name": "vm.run", "v_time": 1.0, "rank": None,
+           "span": 0, "attrs": {"run": 0, "base": 0.0, "nranks": 2,
+                                "makespan": 1.0}}
+_NODE_SEND = {"type": "node", "run": 0, "id": 0, "rank": 0, "kind": "send",
+              "t_start": 0.0, "t_end": 0.5, "wait": 0.0, "msg": 0}
+_NODE_RECV = {"type": "node", "run": 0, "id": 1, "rank": 1, "kind": "recv",
+              "t_start": 0.5, "t_end": 1.0, "wait": 0.25, "msg": 0}
+_MSG = {"type": "msg", "run": 0, "id": 0, "src": 0, "dst": 1, "tag": 7,
+        "nwords": 16, "send_node": 0, "recv_node": 1}
+_CLOCK = {"type": "clock", "run": 0, "rank": 0, "offset": 0.001,
+          "skew": 0.0002}
+_RESOURCE = {"type": "resource", "rank": 0, "t": 0.5,
+             "rss_bytes": 1048576, "cpu_seconds": 0.25,
+             "gc_collections": 4}
+
+
+def _meta(schema, **counts):
+    base = {"type": "meta", "schema": schema, "spans": 0, "events": 0,
+            "counters": 0, "gauges": 0}
+    if schema != "repro.obs/v1":
+        base["metrics"] = 0
+    if schema not in ("repro.obs/v1", "repro.obs/v2"):
+        base["nodes"] = 0
+        base["msgs"] = 0
+    if schema in ("repro.obs/v4", "repro.obs/v5"):
+        base["clocks"] = 0
+    if schema == "repro.obs/v5":
+        base["resources"] = 0
+    base.update(counts)
+    return base
+
+
+def _records(schema):
+    """A minimal trace exercising every record type ``schema`` allows."""
+    version = int(schema.rsplit("v", 1)[1])
+    records = [_SPAN, _EVENT, _COUNTER, _GAUGE]
+    counts = {"spans": 1, "events": 1, "counters": 1, "gauges": 1}
+    if version >= 2:
+        records.append(_METRIC)
+        counts["metrics"] = 1
+    if version >= 3:
+        records += [_VM_RUN, _NODE_SEND, _NODE_RECV, _MSG]
+        counts["events"] = 2
+        counts["nodes"] = 2
+        counts["msgs"] = 1
+    if version >= 4:
+        records.append(_CLOCK)
+        counts["clocks"] = 1
+    if version >= 5:
+        records.append(_RESOURCE)
+        counts["resources"] = 1
+    return [_meta(schema, **counts)] + records
+
+
+def _write(path, records):
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    return path
+
+
+@pytest.fixture(params=SUPPORTED_SCHEMAS)
+def versioned_trace(request, tmp_path):
+    return request.param, _write(
+        tmp_path / "trace.jsonl", _records(request.param)
+    )
+
+
+def test_matrix_covers_every_supported_schema():
+    assert SUPPORTED_SCHEMAS[-1] == SCHEMA_VERSION
+    assert len(SUPPORTED_SCHEMAS) == 5
+
+
+def test_validate_handles_every_version(versioned_trace):
+    schema, path = versioned_trace
+    version = int(schema.rsplit("v", 1)[1])
+    summary = validate_jsonl(path)
+    assert summary["spans"] == 1 and summary["counters"] == 1
+    assert summary["events"] == (2 if version >= 3 else 1)
+    assert summary["metrics"] == (1 if version >= 2 else 0)
+    assert summary["nodes"] == (2 if version >= 3 else 0)
+    assert summary["clocks"] == (1 if version >= 4 else 0)
+    assert summary["resources"] == (1 if version >= 5 else 0)
+
+
+def test_read_handles_every_version(versioned_trace):
+    schema, path = versioned_trace
+    version = int(schema.rsplit("v", 1)[1])
+    tr = read_jsonl(path)
+    assert [s.name for s in tr.spans] == ["cycle"]
+    assert tr.counters == {"messages": 3}
+    if version >= 2:
+        assert tr.metrics.get("repro.lb.imbalance", {"strategy": "uf"},
+                              cycle=0) == 1.25
+    if version >= 3:
+        assert len(tr.causal_nodes) == 2 and len(tr.causal_msgs) == 1
+    if version >= 4:
+        assert tr.clock_records[0].offset == pytest.approx(0.001)
+    if version >= 5:
+        (sample,) = tr.resource_samples
+        assert sample.rank == 0 and sample.rss_bytes == 1048576
+
+
+def test_reports_render_every_version(versioned_trace):
+    schema, path = versioned_trace
+    tr = read_jsonl(path)
+    ascii_out = render_ascii(tr, source=str(path))
+    html_out = render_html(tr)
+    assert "cycle" in ascii_out
+    assert html_out.lstrip().startswith("<!DOCTYPE html>")
+    if schema == SCHEMA_VERSION:
+        assert "Resource usage (per process)" in ascii_out
+
+
+def test_causal_analyze_every_version(versioned_trace):
+    schema, path = versioned_trace
+    version = int(schema.rsplit("v", 1)[1])
+    analysis = analyze(read_jsonl(path))
+    if version >= 3:
+        assert analysis.runs
+    else:
+        assert not analysis.runs
+
+
+def test_future_schema_rejected(tmp_path):
+    from repro.obs.export import SchemaError
+
+    path = _write(tmp_path / "future.jsonl",
+                  [_meta("repro.obs/v99")])
+    with pytest.raises(SchemaError, match="unsupported schema"):
+        validate_jsonl(path)
